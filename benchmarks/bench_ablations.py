@@ -1,0 +1,244 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+- shared-memory allocator: mutex-based vs lock-free partitioned;
+- one-copy ``df_write`` vs zero-copy ``dc_alloc/dc_commit`` vs a FUSE-like
+  kernel-mediated transfer (Section V-B: "about 10 times slower in
+  transferring data than using shared memory");
+- Lustre stripe-size sensitivity of the collective baseline;
+- number of dedicated cores per node.
+"""
+
+import time
+
+import numpy as np
+
+from repro.apps.workload import CM1Workload
+from repro.cluster import Machine, MachineSpec, NoNoise
+from repro.core import DamarisConfig, DamarisDeployment
+from repro.experiments.figures import fast_mode
+from repro.experiments.harness import run_experiment
+from repro.experiments.platforms import kraken_preset
+from repro.experiments.report import FigureReport
+from repro.runtime import DamarisRuntime
+from repro.storage import Lustre, MetadataSpec, TargetSpec
+from repro.strategies import CollectiveIOStrategy, DamarisStrategy
+from repro.units import GiB, MiB
+
+
+# ---------------------------------------------------------------------- #
+# shm transfer paths: one-copy / zero-copy / FUSE-like
+# ---------------------------------------------------------------------- #
+def _transfer_paths_report():
+    report = FigureReport(
+        figure="Ablation: transfer path",
+        title="Client-visible cost of handing one iteration to the "
+              "dedicated core (DES, per-client write phase)",
+        paper_claims=[
+            "At most a single copy is required; zero-copy is available",
+            "A FUSE interface is ~10x slower in transferring data than "
+            "shared memory (Section V-B)",
+        ])
+    results = {}
+    for label, factor, zero_copy in (("df_write (1 copy)", 1.0, False),
+                                     ("dc_alloc (0 copy)", 1.0, True),
+                                     ("FUSE-like", 0.1, False)):
+        machine = Machine(
+            MachineSpec(nodes=1, cores_per_node=12,
+                        mem_bandwidth=2 * GiB * factor,
+                        nic_bandwidth=1 * GiB),
+            seed=2, noise=NoNoise())
+        fs = Lustre(machine, ntargets=4,
+                    target_spec=TargetSpec(straggler_sigma=0.0),
+                    metadata_spec=MetadataSpec(sigma=0.0))
+        config = DamarisConfig()
+        config.add_layout("grid", "float", (256, 128, 32))  # 4 MiB
+        config.add_variable("field", "grid")
+        config.add_event("end", "persist")
+        config.buffer_size = 512 * MiB
+        deployment = DamarisDeployment(machine, fs, config)
+        deployment.start()
+        durations = []
+
+        def client_program(client):
+            start = machine.sim.now
+            if zero_copy:
+                block = yield machine.sim.process(
+                    client.dc_alloc("field", 0))
+                yield machine.sim.process(
+                    client.dc_commit("field", 0, block))
+            else:
+                yield machine.sim.process(client.df_write("field", 0))
+            yield machine.sim.process(client.df_signal("end", 0))
+            durations.append(machine.sim.now - start)
+            yield machine.sim.process(client.df_finalize())
+
+        for client in deployment.clients:
+            machine.sim.process(client_program(client))
+        machine.sim.run()
+        mean = float(np.mean(durations))
+        results[label] = mean
+        report.rows.append({"path": label, "client_cost_s": mean})
+    report.add_note(
+        f"FUSE-like / one-copy slowdown: "
+        f"{results['FUSE-like'] / results['df_write (1 copy)']:.1f}x")
+    return report, results
+
+
+def test_ablation_transfer_paths(figure_runner):
+    report = figure_runner(lambda: _transfer_paths_report()[0])
+    costs = {row["path"]: row["client_cost_s"] for row in report.rows}
+    assert costs["dc_alloc (0 copy)"] < 0.1 * costs["df_write (1 copy)"]
+    assert costs["FUSE-like"] > 5 * costs["df_write (1 copy)"]
+
+
+# ---------------------------------------------------------------------- #
+# allocator: mutex vs partitioned (real threads, real contention)
+# ---------------------------------------------------------------------- #
+def _allocator_report():
+    report = FigureReport(
+        figure="Ablation: shm allocator",
+        title="Mutex-based vs lock-free partitioned reservation "
+              "(real threaded runtime, wall-clock)",
+        paper_claims=[
+            "Damaris offers Boost's mutex-based allocator and a "
+            "lock-free partitioned algorithm for equal-size writers",
+        ])
+    import tempfile
+    import threading
+    nclients = 8
+    iterations = 30 if not fast_mode() else 10
+    payload = np.zeros((64, 64, 8), dtype=np.float32)
+    for allocator in ("mutex", "partitioned"):
+        config = DamarisConfig()
+        config.add_layout("grid", "float", payload.shape)
+        config.add_variable("field", "grid")
+        config.add_event("end", "discard")
+        config.buffer_size = 64 * MiB
+        config.allocator = allocator
+        with tempfile.TemporaryDirectory() as tmp:
+            runtime = DamarisRuntime(config, output_dir=tmp, nodes=1,
+                                     clients_per_node=nclients)
+
+            def drive(client):
+                for iteration in range(iterations):
+                    client.df_write("field", iteration, payload)
+                    client.df_signal("end", iteration)
+
+            started = time.perf_counter()
+            threads = [threading.Thread(target=drive, args=(client,))
+                       for client in runtime.clients]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            elapsed = time.perf_counter() - started
+            runtime.shutdown()
+        report.rows.append({
+            "allocator": allocator,
+            "wall_s": elapsed,
+            "writes": nclients * iterations,
+        })
+    return report
+
+
+def test_ablation_allocators(figure_runner):
+    report = figure_runner(_allocator_report)
+    walls = {row["allocator"]: row["wall_s"] for row in report.rows}
+    assert set(walls) == {"mutex", "partitioned"}
+    # Both complete; neither pathologically slower (>20x) than the other.
+    ratio = walls["mutex"] / walls["partitioned"]
+    assert 0.05 < ratio < 20.0
+
+
+# ---------------------------------------------------------------------- #
+# stripe-size sensitivity of the collective baseline
+# ---------------------------------------------------------------------- #
+def test_ablation_stripe_size(figure_runner):
+    def run():
+        report = FigureReport(
+            figure="Ablation: stripe size",
+            title="Collective-I/O lock pressure vs shared-file stripe "
+                  "size (Kraken model)",
+            paper_claims=[
+                "Setting the stripe size to 32 MB instead of 1 MB "
+                "doubled the collective write time (Section IV-C1)",
+            ],
+            notes=[
+                "NOT REPRODUCED in magnitude: the paper's 2x slowdown "
+                "came from Lustre lock-convoy dynamics finer-grained "
+                "than this simulator models. The model charges bigger "
+                "whole-stripe revocation flushes (direction) but also "
+                "captures a mild *benefit* of large stripes (less "
+                "per-chunk fan-out synchronisation), which can win at "
+                "scale. Recorded as the one known partial reproduction "
+                "(see EXPERIMENTS.md).",
+            ])
+        preset = kraken_preset()
+        ncores = 576 if fast_mode() else 2304
+        for stripe in (1 * MiB, 4 * MiB, 32 * MiB):
+            machine, fs, workload = preset.build(ncores, seed=11)
+            strategy = CollectiveIOStrategy(
+                mode=preset.collective_mode,
+                stripe_count=preset.collective_stripe_count,
+                stripe_size=stripe)
+            result = run_experiment(machine, fs, workload, strategy,
+                                    write_phases=1)
+            report.rows.append({
+                "stripe_MiB": stripe // MiB,
+                "write_phase_s": result.avg_write_phase,
+                "lock_revocations": fs.locks.revocations,
+                "flushed_MiB_per_conflict": stripe // MiB,
+            })
+        return report
+
+    report = figure_runner(run)
+    rows = sorted(report.rows, key=lambda row: row["stripe_MiB"])
+    # Each boundary conflict flushes a whole stripe: the serialised flush
+    # volume per conflict grows with the stripe size (the directional
+    # part of the paper's observation that the model does capture).
+    assert rows[-1]["flushed_MiB_per_conflict"] > \
+        rows[0]["flushed_MiB_per_conflict"]
+    assert all(row["lock_revocations"] > 0 for row in rows)
+    # Whatever the stripe size, collective stays within the same regime —
+    # no setting rescues it (phases within 2x of each other).
+    phases = [row["write_phase_s"] for row in rows]
+    assert max(phases) < 2.0 * min(phases)
+
+
+# ---------------------------------------------------------------------- #
+# number of dedicated cores per node
+# ---------------------------------------------------------------------- #
+def test_ablation_dedicated_core_count(figure_runner):
+    def run():
+        report = FigureReport(
+            figure="Ablation: dedicated cores per node",
+            title="Runtime impact of dedicating 1 vs 2 of 12 cores "
+                  "(Kraken model, one output cycle)",
+            paper_claims=[
+                "One dedicated core per node turned out to be optimal "
+                "(Section V-A)",
+            ])
+        preset = kraken_preset()
+        ncores = 576
+        for dedicated in (1, 2):
+            machine, fs, workload = preset.build(ncores, seed=13)
+            strategy = DamarisStrategy(dedicated_cores_per_node=dedicated)
+            result = run_experiment(machine, fs, workload, strategy,
+                                    write_phases=1)
+            report.rows.append({
+                "dedicated_per_node": dedicated,
+                "compute_ranks": result.compute_ranks,
+                "run_time_s": result.run_time,
+                "write_phase_s": result.avg_write_phase,
+            })
+        return report
+
+    report = figure_runner(run)
+    rows = sorted(report.rows, key=lambda row: row["dedicated_per_node"])
+    assert len(rows) == 2
+    for row in rows:
+        assert row["write_phase_s"] < 1.0
+    # Two dedicated cores leave fewer compute ranks and dilate the
+    # compute block further: one dedicated core is the better choice
+    # (the paper's "optimal choice").
+    assert rows[1]["run_time_s"] > rows[0]["run_time_s"]

@@ -1,0 +1,33 @@
+"""Figure 2 — write-phase duration on Kraken (avg/max, plus the 32 MB
+stripe misconfiguration)."""
+
+from repro.experiments.figures import fig2_write_phase_kraken
+
+
+def test_fig2_write_phase_kraken(figure_runner):
+    report = figure_runner(fig2_write_phase_kraken)
+
+    by_key = {(row["strategy"], row["cores"]): row for row in report.rows}
+    scales = sorted({row["cores"] for row in report.rows})
+    largest = scales[-1]
+
+    # Damaris: ~0.2 s, scale-independent, negligible spread.
+    for cores in scales:
+        damaris = by_key[("damaris", cores)]
+        assert damaris["avg_s"] < 1.0
+        assert damaris["spread_s"] < 0.2
+    # Collective is the slowest and grows with scale; FPP in between.
+    coll = by_key[("collective-io", largest)]
+    fpp = by_key[("file-per-process", largest)]
+    damaris = by_key[("damaris", largest)]
+    assert coll["avg_s"] > fpp["avg_s"] > damaris["avg_s"]
+    assert coll["avg_s"] > 10 * damaris["avg_s"]
+    # Oversized stripes never rescue collective I/O: it stays in the
+    # catastrophic regime (far above both FPP and Damaris). NOTE: the
+    # paper measured a 2x *degradation* at 32 MB; in this model large
+    # stripes instead reduce per-chunk queue fan-out and can come out
+    # faster — the real lock-convoy effect lies below the model's
+    # granularity. Recorded as NOT REPRODUCED in EXPERIMENTS.md.
+    oversized = by_key[("collective-io (32MB stripes)", largest)]
+    assert oversized["avg_s"] > 10 * damaris["avg_s"]
+    assert oversized["avg_s"] > fpp["avg_s"] * 0.8

@@ -1,0 +1,26 @@
+"""Figure 3 — write-phase duration vs output volume on BluePrint."""
+
+import numpy as np
+
+from repro.experiments.figures import fig3_blueprint_volume
+
+
+def test_fig3_blueprint_volume(figure_runner):
+    report = figure_runner(fig3_blueprint_volume)
+
+    fpp = [row for row in report.rows
+           if row["strategy"] == "file-per-process"]
+    damaris = [row for row in report.rows if row["strategy"] == "damaris"]
+    fpp.sort(key=lambda row: row["volume_GB"])
+    damaris.sort(key=lambda row: row["volume_GB"])
+
+    # FPP write time grows with the volume; Damaris stays flat and small.
+    assert fpp[-1]["avg_s"] > fpp[0]["avg_s"]
+    for row in damaris:
+        assert row["avg_s"] < 1.0
+    # FPP variability (max - min) grows with the volume.
+    spreads = [row["max_s"] - row["min_s"] for row in fpp]
+    assert spreads[-1] >= spreads[0]
+    # At every volume Damaris beats FPP by a wide margin.
+    for fpp_row, damaris_row in zip(fpp, damaris):
+        assert damaris_row["avg_s"] < 0.2 * fpp_row["avg_s"]

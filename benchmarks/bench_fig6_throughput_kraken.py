@@ -1,0 +1,21 @@
+"""Figure 6 — aggregate throughput on Kraken (Damaris ~6x FPP, ~15x
+collective at the largest scale)."""
+
+from repro.experiments.figures import fig6_throughput_kraken
+
+
+def test_fig6_throughput(figure_runner):
+    report = figure_runner(fig6_throughput_kraken)
+
+    by_key = {(row["strategy"], row["cores"]): row for row in report.rows}
+    scales = sorted({row["cores"] for row in report.rows})
+    largest = scales[-1]
+
+    damaris = by_key[("damaris", largest)]["throughput_GB_s"]
+    fpp = by_key[("file-per-process", largest)]["throughput_GB_s"]
+    coll = by_key[("collective-io", largest)]["throughput_GB_s"]
+
+    # Ordering and rough factors (paper: 6x and 15x at 9216 cores).
+    assert damaris > fpp > coll
+    assert 3.0 < damaris / fpp < 15.0
+    assert 6.0 < damaris / coll < 40.0

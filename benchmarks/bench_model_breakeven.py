@@ -1,0 +1,97 @@
+"""Section V-A — the dedicated-core breakeven model, analytically and
+validated against the simulator."""
+
+import numpy as np
+
+from repro.analysis.model import breakeven_io_fraction
+from repro.apps.workload import CM1Workload
+from repro.cluster import Machine, MachineSpec, NoNoise
+from repro.experiments.figures import model_breakeven
+from repro.experiments.harness import run_experiment
+from repro.experiments.report import FigureReport
+from repro.storage import Lustre, MetadataSpec, TargetSpec
+from repro.strategies import DamarisStrategy, FilePerProcessStrategy
+from repro.units import GiB
+
+
+def test_model_breakeven_table(figure_runner):
+    report = figure_runner(model_breakeven)
+    by_cores = {row["cores_per_node"]: row for row in report.rows}
+    # The paper's example: N = 24 -> p = 4.35 %.
+    assert abs(by_cores[24]["breakeven_percent"] - 4.35) < 0.01
+    assert by_cores[24]["pays_off_at_5pct"]
+    assert not by_cores[12]["pays_off_at_5pct"]
+    # Monotone: more cores per node, lower breakeven.
+    values = [row["breakeven_percent"] for row in report.rows]
+    assert values == sorted(values, reverse=True)
+
+
+def _simulated_speedup(io_fraction_percent: float,
+                       cores_per_node: int = 16) -> float:
+    """Run FPP vs Damaris on a small quiet platform whose I/O time is a
+    controlled fraction of compute, and return runtime(FPP)/runtime(D)."""
+
+    def build():
+        machine = Machine(
+            MachineSpec(nodes=4, cores_per_node=cores_per_node,
+                        mem_bandwidth=64 * GiB, nic_bandwidth=8 * GiB),
+            seed=3, noise=NoNoise(), completion_slack=0.0,
+            fairness_slack=0.0)
+        fs = Lustre(machine, ntargets=8,
+                    target_spec=TargetSpec(
+                        peak_bandwidth=100e6, stream_peak=100e6,
+                        straggler_sigma=0.0, request_latency=0.0,
+                        object_half=1e9, stream_half=1e9, queue_depth=0),
+                    metadata_spec=MetadataSpec(sigma=0.0))
+        return machine, fs
+
+    # Volume per core such that FPP's write time is the requested
+    # fraction of the compute block: total capacity 800 MB/s.
+    compute = 100.0
+    ranks = 4 * cores_per_node
+    volume = 800e6 * compute * (io_fraction_percent / 100.0) / ranks
+    workload = CM1Workload(subdomain=(max(int(volume // 24), 1), 1, 1),
+                           seconds_per_iteration=compute,
+                           iterations_per_output=1)
+    machine, fs = build()
+    fpp = run_experiment(machine, fs, workload, FilePerProcessStrategy(),
+                         write_phases=1)
+    machine, fs = build()
+    damaris = run_experiment(machine, fs, workload, DamarisStrategy(),
+                             write_phases=1)
+    return fpp.run_time / damaris.run_time
+
+
+def test_breakeven_validated_by_simulation(figure_runner):
+    """DES validation: dedication pays above the analytic breakeven and
+    not far below it (16-core nodes -> p* = 6.67 %)."""
+
+    def run():
+        cores = 16
+        breakeven = breakeven_io_fraction(cores)
+        report = FigureReport(
+            figure="Section V-A validation",
+            title=f"Simulated FPP/Damaris runtime ratio vs I/O fraction "
+                  f"({cores}-core nodes, analytic breakeven "
+                  f"{breakeven:.2f} %)",
+            paper_claims=[
+                "Dedicating one core pays off once the I/O fraction "
+                "exceeds p = 100/(N-1)",
+            ])
+        for io_percent in (1.0, 3.0, breakeven, 12.0, 20.0):
+            ratio = _simulated_speedup(io_percent, cores)
+            report.rows.append({
+                "io_percent": io_percent,
+                "runtime_ratio_fpp_over_damaris": ratio,
+                "dedication_wins": ratio > 1.0,
+            })
+        return report
+
+    report = figure_runner(run)
+    rows = report.rows
+    # Well below breakeven: dedication loses; well above: it wins.
+    assert not rows[0]["dedication_wins"]
+    assert rows[-1]["dedication_wins"]
+    # The ratio is monotone in the I/O fraction.
+    ratios = [row["runtime_ratio_fpp_over_damaris"] for row in rows]
+    assert ratios == sorted(ratios)

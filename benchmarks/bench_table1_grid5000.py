@@ -1,0 +1,25 @@
+"""Table I — average aggregate throughput on Grid'5000 (672 cores)."""
+
+from repro.experiments.figures import fast_mode, table1_grid5000
+
+
+def test_table1_grid5000(figure_runner):
+    report = figure_runner(table1_grid5000)
+
+    tput = {row["strategy"]: row["throughput_MB_s"] for row in report.rows}
+
+    # Damaris wins at any scale; the paper's >6x factor needs the full
+    # 672-core contention (server concurrency penalties barely bite at
+    # REPRO_FAST's reduced scale).
+    assert tput["damaris"] > tput["file-per-process"]
+    assert tput["damaris"] > tput["collective-io"]
+    if not fast_mode():
+        # Paper: FPP 695 MB/s, collective 636 MB/s, Damaris 4320 MB/s.
+        assert tput["damaris"] > 6 * tput["file-per-process"] * 0.7
+        assert tput["damaris"] > 6 * tput["collective-io"] * 0.7
+        assert 400 < tput["file-per-process"] < 1100
+        assert 400 < tput["collective-io"] < 1100
+        assert 3000 < tput["damaris"] < 6000
+    # The two standard approaches are comparable (within 2x).
+    ratio = tput["file-per-process"] / tput["collective-io"]
+    assert 0.5 < ratio < 2.0

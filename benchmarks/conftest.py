@@ -1,0 +1,37 @@
+"""Shared bench plumbing.
+
+Every bench regenerates one table/figure of the paper via the drivers in
+:mod:`repro.experiments.figures`, prints the rendered report (the
+rows/series the paper reports), and appends it to
+``benchmarks/reports/<figure>.txt`` so EXPERIMENTS.md can reference the
+exact output. ``REPRO_FAST=1`` trims sweeps.
+"""
+
+import os
+
+import pytest
+
+REPORT_DIR = os.path.join(os.path.dirname(__file__), "reports")
+
+
+@pytest.fixture
+def figure_runner(benchmark, capsys):
+    """Run a figure driver exactly once under pytest-benchmark, print and
+    persist its report."""
+
+    def run(driver, *args, **kwargs):
+        result = benchmark.pedantic(driver, args=args, kwargs=kwargs,
+                                    rounds=1, iterations=1)
+        text = result.render()
+        with capsys.disabled():
+            print()
+            print(text)
+        os.makedirs(REPORT_DIR, exist_ok=True)
+        slug = "".join(ch if ch.isalnum() else "_"
+                       for ch in result.figure.lower()).strip("_")
+        with open(os.path.join(REPORT_DIR, f"{slug}.txt"), "w",
+                  encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        return result
+
+    return run

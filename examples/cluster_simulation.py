@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Simulate the paper's Kraken experiment at reduced scale.
+
+Builds the calibrated Kraken model (Cray XT5 nodes + Lustre with one
+metadata server, 336 OSTs and cross-application interference), runs CM1's
+output cycle under the three I/O approaches, and prints the paper's
+metrics: write-phase duration seen by the simulation, aggregate
+throughput, run time, and — for Damaris — the dedicated cores' write and
+spare time.
+
+Run:  python examples/cluster_simulation.py [cores]
+      (cores must be a multiple of 12; default 576, the paper's smallest)
+"""
+
+import sys
+
+import numpy as np
+
+from repro.experiments.harness import run_experiment
+from repro.experiments.platforms import kraken_preset
+from repro.experiments.report import render_table
+from repro.strategies import (
+    CollectiveIOStrategy,
+    DamarisStrategy,
+    FilePerProcessStrategy,
+)
+from repro.units import GB, fmt_rate, fmt_time
+
+
+def main() -> None:
+    ncores = int(sys.argv[1]) if len(sys.argv) > 1 else 576
+    preset = kraken_preset()
+    print(f"simulated Kraken: {ncores} cores "
+          f"({ncores // 12} twelve-core nodes), Lustre with "
+          f"336 OSTs + 1 MDS\n")
+
+    rows = []
+    for strategy_factory in (
+        lambda: FilePerProcessStrategy(),
+        lambda: CollectiveIOStrategy(
+            mode=preset.collective_mode,
+            stripe_count=preset.collective_stripe_count),
+        lambda: DamarisStrategy(),
+    ):
+        strategy = strategy_factory()
+        machine, fs, workload = preset.build(ncores, seed=1)
+        result = run_experiment(machine, fs, workload, strategy,
+                                write_phases=2)
+        row = {
+            "strategy": strategy.name,
+            "write phase (avg)": fmt_time(result.avg_write_phase),
+            "write phase (max)": fmt_time(result.max_write_phase),
+            "throughput": fmt_rate(result.aggregate_throughput),
+            "run time": fmt_time(result.run_time),
+            "files": result.files_created,
+        }
+        if result.dedicated_write_times:
+            row["dedicated write"] = fmt_time(
+                float(np.mean(result.dedicated_write_times)))
+            row["spare"] = f"{100 * result.spare_fraction:.0f} %"
+        rows.append(row)
+        print(f"  {strategy.name}: done "
+              f"(simulated {result.drain_time:,.0f} s)")
+
+    print()
+    print(render_table(rows))
+    print("\npaper (Figure 2/4/6): Damaris hides the write phase "
+          "(~0.2 s), scales nearly perfectly, and out-writes "
+          "file-per-process ~6x and collective-I/O ~15x at 9216 cores.")
+
+
+if __name__ == "__main__":
+    main()

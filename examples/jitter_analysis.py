@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Where does I/O jitter come from, and what removes it?
+
+Reproduces the paper's Section II analysis experimentally: runs several
+write phases of the CM1 workload on the simulated Grid'5000/PVFS platform
+under increasing interference, and shows how phase-to-phase
+unpredictability (max - min) grows for file-per-process while Damaris
+stays flat — the paper's headline "fully hides jitter" claim.
+
+Run:  python examples/jitter_analysis.py
+"""
+
+import numpy as np
+
+from repro.analysis import jitter_stats
+from repro.experiments.harness import run_experiment
+from repro.experiments.platforms import grid5000_preset
+from repro.experiments.report import render_table
+from repro.strategies import DamarisStrategy, FilePerProcessStrategy
+from repro.units import fmt_time
+
+CORES = 240
+PHASES = 4
+
+
+def main() -> None:
+    preset = grid5000_preset()
+    rows = []
+    for load in (0.0, 0.2, 0.4):
+        preset.interference_load = load
+        for strategy_factory in (lambda: FilePerProcessStrategy(),
+                                 lambda: DamarisStrategy()):
+            strategy = strategy_factory()
+            machine, fs, workload = preset.build(CORES, seed=3)
+            result = run_experiment(machine, fs, workload, strategy,
+                                    write_phases=PHASES)
+            stats = jitter_stats([p.duration for p in result.phases])
+            ranks = np.concatenate([p.rank_times for p in result.phases])
+            rows.append({
+                "cross-app load": f"{load:.0%}",
+                "strategy": strategy.name,
+                "phase avg": fmt_time(stats.mean),
+                "phase max": fmt_time(stats.maximum),
+                "unpredictability": fmt_time(stats.spread),
+                "rank spread": fmt_time(float(ranks.max() - ranks.min())),
+            })
+            print(f"  load {load:.0%} / {strategy.name}: done")
+
+    print()
+    print(render_table(rows))
+    print("\nThe file-per-process write phase inflates and wobbles as the "
+          "shared file system gets busier; the Damaris write phase is a "
+          "shared-memory copy and never sees any of it (paper Fig. 2/3).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The execution environment has no network and no ``wheel`` package, so PEP
+517 editable installs (which require ``bdist_wheel``) are unavailable;
+this file enables the legacy ``pip install -e .`` path. All project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,28 @@
+"""repro — a reproduction of Damaris (Dorier et al., CLUSTER 2012).
+
+Damaris leverages dedicated I/O cores on multicore SMP nodes, together with
+shared intra-node memory, to perform asynchronous data processing and I/O.
+This hides I/O jitter from the simulation, raises aggregate throughput, and
+enables overhead-free compression.
+
+The package is organised in layers:
+
+- :mod:`repro.des` — a discrete-event simulation kernel (the substrate on
+  which clusters, file systems and MPI are modelled).
+- :mod:`repro.cluster`, :mod:`repro.storage`, :mod:`repro.mpi` — models of
+  SMP nodes, interconnects, parallel file systems (Lustre/PVFS/GPFS-like)
+  and an MPI-like runtime with independent and collective I/O.
+- :mod:`repro.formats` — data layouts, compression codecs and the SHDF
+  on-disk container.
+- :mod:`repro.core` — the Damaris middleware itself: shared-memory buffers,
+  event queue, event-processing engine, plugins, client API.
+- :mod:`repro.runtime` — a real, thread-based Damaris runtime that writes
+  real files (used by the examples).
+- :mod:`repro.strategies`, :mod:`repro.apps`, :mod:`repro.experiments`,
+  :mod:`repro.analysis` — the three I/O approaches under test, the CM1
+  workload, and the harness reproducing every table and figure of the paper.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,18 @@
+"""Analysis: jitter statistics, the Section V-A model, scalability factors."""
+
+from repro.analysis.stats import JitterStats, jitter_stats
+from repro.analysis.model import (
+    breakeven_io_fraction,
+    dedication_benefit,
+    dedication_pays_off,
+)
+from repro.analysis.scalability import scalability_factor
+
+__all__ = [
+    "JitterStats",
+    "breakeven_io_fraction",
+    "dedication_benefit",
+    "dedication_pays_off",
+    "jitter_stats",
+    "scalability_factor",
+]

@@ -1,0 +1,24 @@
+"""The paper's scalability factor: S = N · C576 / T_N.
+
+``C576`` is the time of 50 iterations on the 576-core baseline without
+dedicated cores and without any I/O; ``T_N`` is the time of 50 iterations
+plus one write phase on N cores. Perfect scalability gives S = N.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+__all__ = ["scalability_factor"]
+
+
+def scalability_factor(ncores: int, baseline_time: float,
+                       measured_time: float,
+                       baseline_cores: int = 576) -> float:
+    """S = N · C_baseline / T_N (paper Fig. 4a)."""
+    if measured_time <= 0 or baseline_time <= 0:
+        raise ReproError("times must be positive")
+    if ncores < 1:
+        raise ReproError("ncores must be >= 1")
+    del baseline_cores  # the definition normalises by the baseline *time*
+    return ncores * baseline_time / measured_time

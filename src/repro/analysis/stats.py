@@ -1,0 +1,50 @@
+"""Jitter statistics over write-phase measurements."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = ["JitterStats", "jitter_stats"]
+
+
+@dataclass(frozen=True)
+class JitterStats:
+    """Summary of a set of durations (per rank or per phase)."""
+
+    mean: float
+    maximum: float
+    minimum: float
+    std: float
+    p95: float
+    count: int
+
+    @property
+    def spread(self) -> float:
+        """Max minus min — the paper's 'unpredictability' (±17 s on
+        Kraken for file-per-process)."""
+        return self.maximum - self.minimum
+
+    @property
+    def cov(self) -> float:
+        """Coefficient of variation."""
+        return self.std / self.mean if self.mean > 0 else 0.0
+
+
+def jitter_stats(durations: Sequence[float]) -> JitterStats:
+    """Compute jitter statistics of a non-empty duration sample."""
+    if len(durations) == 0:
+        raise ReproError("cannot compute jitter statistics of no samples")
+    array = np.asarray(durations, dtype=float)
+    return JitterStats(
+        mean=float(array.mean()),
+        maximum=float(array.max()),
+        minimum=float(array.min()),
+        std=float(array.std()),
+        p95=float(np.percentile(array, 95)),
+        count=int(array.size),
+    )

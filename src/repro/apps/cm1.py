@@ -1,0 +1,176 @@
+"""A miniature CM1: warm-bubble convection on a 3-D grid.
+
+CM1 (Bryan & Fritsch 2002) models small-scale atmospheric phenomena —
+thunderstorms, tornadoes. This mini-kernel reproduces its *shape* as an
+I/O workload: a fixed 3-D domain, a handful of prognostic variables
+(winds, potential temperature, pressure, moisture), alternating compute
+and output phases, and spatially smooth fields whose entropy matches what
+the paper's compression experiments rely on (gzip ≈ 1.9×, 16-bit + gzip
+≈ 6×).
+
+The dynamics are a simplified anelastic system: advection by the wind
+field (first-order upwind), buoyancy driving vertical motion, diffusion,
+and a rising warm bubble as the initial condition. It is *not* a
+meteorologically faithful CM1 — it is a numerically real workload
+generator with CM1's data characteristics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = ["MiniCM1"]
+
+#: The prognostic variables the kernel evolves and outputs, with the
+#: conventional CM1 names.
+VARIABLE_NAMES = ("u", "v", "w", "theta", "prs", "qv")
+
+
+class MiniCM1:
+    """Warm-bubble convection solver on an ``nx × ny × nz`` grid."""
+
+    def __init__(self, nx: int = 64, ny: int = 64, nz: int = 40,
+                 dx: float = 250.0, dz: float = 250.0, dt: float = 1.0,
+                 diffusion: float = 0.02, seed: int = 0) -> None:
+        if min(nx, ny, nz) < 4:
+            raise ReproError("grid must be at least 4 points per dimension")
+        self.nx, self.ny, self.nz = nx, ny, nz
+        self.dx, self.dz, self.dt = dx, dz, dt
+        self.diffusion = diffusion
+        self.iteration = 0
+        rng = np.random.default_rng(seed)
+
+        shape = (nx, ny, nz)
+        # Winds (m/s): a sheared zonal profile (constant per level, so the
+        # far field stays homogeneous — real atmospheric output has large
+        # smooth regions, which is what makes the paper's compression
+        # ratios achievable). A small perturbation near the bubble breaks
+        # symmetry without salting the whole domain with noise.
+        self.u = np.zeros(shape, dtype=np.float32)
+        self.v = np.zeros(shape, dtype=np.float32)
+        self.w = np.zeros(shape, dtype=np.float32)
+        z = np.linspace(0.0, 1.0, nz, dtype=np.float32)
+        self.u += np.round(4.0 * z, 3)[None, None, :]
+        core = (slice(nx // 2 - 2, nx // 2 + 2),
+                slice(ny // 2 - 2, ny // 2 + 2), slice(0, nz))
+        self.u[core] += rng.normal(0, 0.05, self.u[core].shape) \
+            .astype(np.float32)
+        self.v[core] += rng.normal(0, 0.05, self.v[core].shape) \
+            .astype(np.float32)
+
+        # Potential temperature perturbation (K): the warm bubble, with
+        # exact zeros outside (CM1's theta' is zero in the unperturbed
+        # environment).
+        x = np.linspace(-1.0, 1.0, nx, dtype=np.float32)
+        y = np.linspace(-1.0, 1.0, ny, dtype=np.float32)
+        zc = np.linspace(0.0, 2.0, nz, dtype=np.float32)
+        bubble = (x[:, None, None] ** 2 + y[None, :, None] ** 2
+                  + (zc[None, None, :] - 0.5) ** 2)
+        theta = 3.0 * np.exp(-8.0 * bubble)
+        theta[theta < 1e-3] = 0.0
+        self.theta = theta.astype(np.float32)
+
+        # Pressure perturbation (Pa) and water vapour (kg/kg): qv is a
+        # pure sounding profile (constant per level).
+        self.prs = np.zeros(shape, dtype=np.float32)
+        self.qv = np.broadcast_to(
+            np.round(0.014 * np.exp(-2.0 * zc), 6)[None, None, :],
+            shape).astype(np.float32).copy()
+
+    # ------------------------------------------------------------------ #
+    # dynamics
+    # ------------------------------------------------------------------ #
+    def step(self, n: int = 1) -> None:
+        """Advance the solver ``n`` time steps."""
+        for _ in range(n):
+            self._advect_all()
+            self._buoyancy()
+            self._diffuse_all()
+            self._pressure_diagnostic()
+            self.iteration += 1
+
+    def _upwind(self, field: np.ndarray) -> np.ndarray:
+        """First-order upwind advection tendency of ``field``."""
+        dt_dx = self.dt / self.dx
+        dt_dz = self.dt / self.dz
+        # X direction.
+        dfdx_minus = field - np.roll(field, 1, axis=0)
+        dfdx_plus = np.roll(field, -1, axis=0) - field
+        tend = -dt_dx * (np.maximum(self.u, 0) * dfdx_minus
+                         + np.minimum(self.u, 0) * dfdx_plus)
+        # Y direction.
+        dfdy_minus = field - np.roll(field, 1, axis=1)
+        dfdy_plus = np.roll(field, -1, axis=1) - field
+        tend -= dt_dx * (np.maximum(self.v, 0) * dfdy_minus
+                         + np.minimum(self.v, 0) * dfdy_plus)
+        # Z direction (no wraparound: clamp boundaries after).
+        dfdz_minus = field - np.roll(field, 1, axis=2)
+        dfdz_plus = np.roll(field, -1, axis=2) - field
+        tend -= dt_dz * (np.maximum(self.w, 0) * dfdz_minus
+                         + np.minimum(self.w, 0) * dfdz_plus)
+        return tend
+
+    def _advect_all(self) -> None:
+        for name in ("theta", "qv", "u", "v", "w"):
+            field = getattr(self, name)
+            field += self._upwind(field)
+        # Rigid lid and surface.
+        self.w[:, :, 0] = 0.0
+        self.w[:, :, -1] = 0.0
+
+    def _buoyancy(self) -> None:
+        # g * theta'/theta0, with theta0 = 300 K.
+        self.w += (self.dt * 9.81 / 300.0) * self.theta
+        self.w[:, :, 0] = 0.0
+        self.w[:, :, -1] = 0.0
+
+    def _diffuse_all(self) -> None:
+        k = self.diffusion
+        for name in ("theta", "qv", "u", "v", "w"):
+            field = getattr(self, name)
+            lap = (-6.0 * field
+                   + np.roll(field, 1, 0) + np.roll(field, -1, 0)
+                   + np.roll(field, 1, 1) + np.roll(field, -1, 1)
+                   + np.roll(field, 1, 2) + np.roll(field, -1, 2))
+            field += k * lap
+
+    def _pressure_diagnostic(self) -> None:
+        # A cheap diagnostic pressure from the divergence field.
+        div = (np.roll(self.u, -1, 0) - self.u
+               + np.roll(self.v, -1, 1) - self.v
+               + np.roll(self.w, -1, 2) - self.w)
+        self.prs = (-50.0 * div).astype(np.float32)
+
+    # ------------------------------------------------------------------ #
+    # output interface
+    # ------------------------------------------------------------------ #
+    def variables(self) -> Dict[str, np.ndarray]:
+        """The output fields, keyed by CM1 variable name."""
+        return {name: getattr(self, name) for name in VARIABLE_NAMES}
+
+    @property
+    def bytes_per_output(self) -> int:
+        return sum(field.nbytes for field in self.variables().values())
+
+    def max_w(self) -> float:
+        """Peak updraft speed — the classic CM1 convection diagnostic."""
+        return float(np.max(self.w))
+
+    def subdomain(self, rank: int, px: int, py: int) -> Dict[str, np.ndarray]:
+        """The fields of one rank's subdomain under a ``px × py`` 2-D
+        decomposition (CM1 splits the horizontal plane)."""
+        if rank < 0 or rank >= px * py:
+            raise ReproError(f"rank {rank} out of range for {px}x{py} grid")
+        if self.nx % px or self.ny % py:
+            raise ReproError(
+                f"domain {self.nx}x{self.ny} not divisible by {px}x{py}")
+        ix, iy = rank % px, rank // px
+        sx, sy = self.nx // px, self.ny // py
+        view = (slice(ix * sx, (ix + 1) * sx),
+                slice(iy * sy, (iy + 1) * sy), slice(None))
+        return {name: field[view] for name, field in
+                self.variables().items()}

@@ -1,0 +1,36 @@
+"""A synthetic fixed-volume I/O workload for micro-benchmarks/ablations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.apps.workload import CM1Workload
+from repro.errors import ReproError
+from repro.units import MiB
+
+__all__ = ["IOBenchWorkload"]
+
+
+@dataclass
+class IOBenchWorkload(CM1Workload):
+    """A single synthetic variable of exactly ``bytes_per_rank`` bytes."""
+
+    bytes_per_rank: int = 24 * MiB
+    compute_seconds: float = 10.0
+
+    def __init__(self, bytes_per_rank: int = 24 * MiB,
+                 compute_seconds: float = 10.0,
+                 iterations_per_output: int = 1) -> None:
+        if bytes_per_rank < 4:
+            raise ReproError("bytes_per_rank must be >= 4")
+        # One float32 variable with exactly the requested volume.
+        points = bytes_per_rank // 4
+        super().__init__(
+            subdomain=(points, 1, 1),
+            variables=(("payload", 4),),
+            seconds_per_iteration=compute_seconds,
+            iterations_per_output=iterations_per_output,
+        )
+        self.bytes_per_rank = bytes_per_rank
+        self.compute_seconds = compute_seconds

@@ -1,0 +1,127 @@
+"""Offline post-processing of Damaris output.
+
+The paper's premise: "most data written by HPC applications are only
+eventually read by analysis tasks but not used by the simulation itself".
+This module is that analysis task — it walks a Damaris output directory
+(one SHDF file per node per iteration, as written by
+:mod:`repro.runtime`), reassembles each iteration's fields from the
+per-source datasets, and computes storm diagnostics over time.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.formats.shdf import SHDFReader
+
+__all__ = ["OutputCatalog", "StormDiagnostics", "load_iteration",
+           "storm_time_series"]
+
+_FILE_RE = re.compile(r"iter(\d+)\.(shdf|h5)$")
+
+
+@dataclass
+class OutputCatalog:
+    """Index of a Damaris output directory: iteration → files."""
+
+    root: str
+    files_by_iteration: Dict[int, List[str]] = field(default_factory=dict)
+
+    @classmethod
+    def scan(cls, root: str) -> "OutputCatalog":
+        catalog = cls(root=root)
+        if not os.path.isdir(root):
+            raise FormatError(f"{root!r} is not a directory")
+        for dirpath, _dirnames, filenames in os.walk(root):
+            for filename in sorted(filenames):
+                match = _FILE_RE.search(filename)
+                if match:
+                    iteration = int(match.group(1))
+                    catalog.files_by_iteration.setdefault(
+                        iteration, []).append(os.path.join(dirpath,
+                                                           filename))
+        return catalog
+
+    @property
+    def iterations(self) -> List[int]:
+        return sorted(self.files_by_iteration)
+
+    def files(self, iteration: int) -> List[str]:
+        try:
+            return self.files_by_iteration[iteration]
+        except KeyError:
+            raise FormatError(
+                f"no output files for iteration {iteration} under "
+                f"{self.root!r}") from None
+
+
+def load_iteration(catalog: OutputCatalog, iteration: int,
+                   variable: str) -> Dict[int, np.ndarray]:
+    """All sources' arrays of ``variable`` at ``iteration``, keyed by the
+    writing rank."""
+    out: Dict[int, np.ndarray] = {}
+    for path in catalog.files(iteration):
+        with SHDFReader(path) as reader:
+            for name in reader.datasets:
+                parts = name.split("/")
+                if parts[0] != variable or not parts[-1].startswith("src"):
+                    continue
+                source = int(parts[-1][3:])
+                out[source] = reader.read_dataset(name)
+    if not out:
+        raise FormatError(
+            f"variable {variable!r} not found at iteration {iteration}")
+    return out
+
+
+def assemble_global(pieces: Dict[int, np.ndarray],
+                    axis: int = 0) -> np.ndarray:
+    """Concatenate per-rank subdomains (rank-ordered) along ``axis`` —
+    the inverse of MiniCM1's 1-D horizontal decomposition."""
+    if not pieces:
+        raise FormatError("nothing to assemble")
+    return np.concatenate([pieces[rank] for rank in sorted(pieces)],
+                          axis=axis)
+
+
+@dataclass(frozen=True)
+class StormDiagnostics:
+    """Per-iteration storm summary (the classic CM1 analysis)."""
+
+    iteration: int
+    max_updraft: float
+    max_theta_perturbation: float
+    updraft_volume_fraction: float
+
+    @staticmethod
+    def compute(iteration: int, w: np.ndarray,
+                theta: np.ndarray,
+                updraft_threshold: float = 1.0) -> "StormDiagnostics":
+        return StormDiagnostics(
+            iteration=iteration,
+            max_updraft=float(w.max()),
+            max_theta_perturbation=float(np.abs(theta).max()),
+            updraft_volume_fraction=float((w > updraft_threshold).mean()),
+        )
+
+
+def storm_time_series(root: str, w_name: str = "w",
+                      theta_name: str = "theta",
+                      axis: int = 0) -> List[StormDiagnostics]:
+    """The full offline analysis: scan, reassemble, diagnose, per
+    iteration."""
+    catalog = OutputCatalog.scan(root)
+    series = []
+    for iteration in catalog.iterations:
+        w = assemble_global(load_iteration(catalog, iteration, w_name),
+                            axis=axis)
+        theta = assemble_global(
+            load_iteration(catalog, iteration, theta_name), axis=axis)
+        series.append(StormDiagnostics.compute(iteration, w, theta))
+    return series

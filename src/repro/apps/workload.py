@@ -1,0 +1,135 @@
+"""CM1 as a DES workload: domain decomposition, volumes and compute times.
+
+The paper's weak-scaling configurations:
+
+- **Kraken** — each process handles a 44×44×200-point subdomain
+  (48×44×200 under Damaris so the total problem stays equal);
+- **Grid'5000** — 1104×1120×200 total; 46×40×200 per core
+  (48×40×200 under Damaris); 15.8 GB uncompressed per write phase at 672
+  cores ≈ 24 MB per process;
+- **BluePrint** — 960×960×300 total; 30×30×300 per core (24×40×300 under
+  Damaris); output volume varied by enabling/disabling variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import prod
+from typing import Dict, List, Tuple
+
+from repro.errors import ReproError
+
+__all__ = ["CM1Workload"]
+
+#: (name, bytes per element) of the CM1 output variables; float32 fields.
+DEFAULT_VARIABLES: Tuple[Tuple[str, int], ...] = (
+    ("u", 4), ("v", 4), ("w", 4), ("theta", 4), ("prs", 4), ("qv", 4),
+)
+
+#: The fuller CM1 output set (microphysics, turbulence, diagnostics) used
+#: on Grid'5000, where the paper reports ~24 MB per process per phase —
+#: 64 B per grid point, i.e. sixteen float32 fields.
+EXTENDED_VARIABLES: Tuple[Tuple[str, int], ...] = DEFAULT_VARIABLES + (
+    ("qc", 4), ("qr", 4), ("qi", 4), ("qs", 4), ("qg", 4),
+    ("tke", 4), ("kh", 4), ("km", 4), ("rho", 4), ("dbz", 4),
+)
+
+
+@dataclass
+class CM1Workload:
+    """Weak-scaling CM1 workload description for the DES harness.
+
+    ``subdomain`` is the per-core grid when *all* cores compute;
+    ``seconds_per_iteration`` is the compute time of one model step on one
+    such subdomain. When cores are dedicated to Damaris, the remaining
+    cores' subdomains grow so the global problem is unchanged and the
+    iteration time dilates by ``total/(total - dedicated)``.
+    """
+
+    subdomain: Tuple[int, int, int] = (44, 44, 200)
+    variables: Tuple[Tuple[str, int], ...] = DEFAULT_VARIABLES
+    seconds_per_iteration: float = 4.1
+    iterations_per_output: int = 50
+
+    def __post_init__(self) -> None:
+        if any(d < 1 for d in self.subdomain):
+            raise ReproError(f"bad subdomain {self.subdomain}")
+        if self.seconds_per_iteration <= 0:
+            raise ReproError("seconds_per_iteration must be > 0")
+        if self.iterations_per_output < 1:
+            raise ReproError("iterations_per_output must be >= 1")
+        if not self.variables:
+            raise ReproError("workload needs at least one variable")
+
+    # ------------------------------------------------------------------ #
+    # volumes
+    # ------------------------------------------------------------------ #
+    @property
+    def points_per_core(self) -> int:
+        return prod(self.subdomain)
+
+    @property
+    def bytes_per_element(self) -> int:
+        return sum(size for _, size in self.variables)
+
+    def bytes_per_core(self, dilation: float = 1.0) -> int:
+        """Output bytes per core per write phase (all variables)."""
+        return int(self.points_per_core * self.bytes_per_element * dilation)
+
+    def total_bytes(self, ncores: int, dilation: float = 1.0) -> int:
+        return self.bytes_per_core(dilation) * ncores
+
+    def variable_bytes(self, dilation: float = 1.0) -> Dict[str, int]:
+        """Per-variable bytes for one core's subdomain."""
+        return {
+            name: int(self.points_per_core * size * dilation)
+            for name, size in self.variables
+        }
+
+    # ------------------------------------------------------------------ #
+    # compute model
+    # ------------------------------------------------------------------ #
+    def dilation(self, cores_per_node: int, dedicated_per_node: int) -> float:
+        """Per-core growth factor when ``dedicated_per_node`` cores stop
+        computing (paper: 44→48 points in x on Kraken's 12-core nodes)."""
+        active = cores_per_node - dedicated_per_node
+        if active < 1:
+            raise ReproError(
+                f"no compute cores left ({dedicated_per_node} of "
+                f"{cores_per_node} dedicated)")
+        return cores_per_node / active
+
+    def iteration_seconds(self, dilation: float = 1.0) -> float:
+        """Time of one model iteration on a (possibly grown) subdomain,
+        assuming the solver scales linearly in points."""
+        return self.seconds_per_iteration * dilation
+
+    def compute_block_seconds(self, dilation: float = 1.0) -> float:
+        """Nominal time of one inter-output compute block."""
+        return self.iteration_seconds(dilation) * self.iterations_per_output
+
+    # ------------------------------------------------------------------ #
+    # paper presets
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def kraken(cls) -> "CM1Workload":
+        return cls(subdomain=(44, 44, 200), seconds_per_iteration=4.1,
+                   iterations_per_output=50)
+
+    @classmethod
+    def grid5000(cls) -> "CM1Workload":
+        # 46x40x200 points x 16 float32 variables = 23.6 MB/process,
+        # matching the paper's 15.8 GB per phase at 672 cores. The
+        # iteration time is set so file-per-process spends ~4.2 % of the
+        # run in I/O (Section IV-C1) when writing every 20 iterations.
+        return cls(subdomain=(46, 40, 200), variables=EXTENDED_VARIABLES,
+                   seconds_per_iteration=25.0, iterations_per_output=20)
+
+    @classmethod
+    def blueprint(cls, nvariables: int = 6) -> "CM1Workload":
+        if not 1 <= nvariables <= len(DEFAULT_VARIABLES):
+            raise ReproError(
+                f"nvariables must be 1..{len(DEFAULT_VARIABLES)}")
+        return cls(subdomain=(30, 30, 300),
+                   variables=DEFAULT_VARIABLES[:nvariables],
+                   seconds_per_iteration=4.5, iterations_per_output=50)

@@ -1,0 +1,29 @@
+"""Cluster hardware models: SMP nodes, cores, NICs, interconnect, OS noise.
+
+A :class:`~repro.cluster.machine.Machine` wires a set of
+:class:`~repro.cluster.node.SMPNode` objects (each with cores, a shared
+memory bus and a NIC) to an interconnect, all expressed as capacities of a
+single :class:`~repro.des.bandwidth.FlowNetwork`. Parallel file systems
+(:mod:`repro.storage`) attach their targets to the same network, so every
+byte moved competes realistically for NICs, fabric and storage bandwidth.
+"""
+
+from repro.cluster.node import Core, SMPNode
+from repro.cluster.machine import Machine, MachineSpec
+from repro.cluster.noise import (
+    CrossApplicationInterference,
+    NoiseModel,
+    NoNoise,
+    OSNoise,
+)
+
+__all__ = [
+    "Core",
+    "CrossApplicationInterference",
+    "Machine",
+    "MachineSpec",
+    "NoNoise",
+    "NoiseModel",
+    "OSNoise",
+    "SMPNode",
+]

@@ -1,0 +1,96 @@
+"""SMP node and core models.
+
+An :class:`SMPNode` owns:
+
+- ``cores`` — compute contexts; a core runs one simulated MPI process;
+- ``membus`` — a shared :class:`~repro.des.bandwidth.LinkCapacity`
+  modelling the node's memory bandwidth. Shared-memory copies (the Damaris
+  ``df_write`` path) are flows across this capacity only, so concurrent
+  copies from many cores contend exactly as the paper describes;
+- ``nic_tx`` / ``nic_rx`` — the node's network interface, the first level
+  of contention when all cores perform I/O simultaneously (Section II-A,
+  cause 1).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.des.bandwidth import Flow, LinkCapacity
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.machine import Machine
+
+__all__ = ["Core", "SMPNode"]
+
+
+class Core:
+    """One core of an SMP node. Runs either simulation code or Damaris."""
+
+    __slots__ = ("node", "index", "dedicated")
+
+    def __init__(self, node: "SMPNode", index: int) -> None:
+        self.node = node
+        self.index = index
+        #: True when the core is reserved for Damaris (never runs the
+        #: simulation). Set by the Damaris strategy at deployment time.
+        self.dedicated = False
+
+    @property
+    def global_index(self) -> int:
+        """Machine-wide core id (node id × cores-per-node + local index)."""
+        return self.node.index * self.node.ncores + self.index
+
+    def compute(self, seconds: float, stream_name: str = "os-noise"):
+        """Event: run pure computation for ``seconds``, with OS noise applied.
+
+        The returned event fires when the (noise-dilated) compute phase ends.
+        """
+        dilated = self.node.machine.noise.dilate(self, seconds, stream_name)
+        return self.node.machine.sim.timeout(dilated)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Core {self.node.index}.{self.index}>"
+
+
+class SMPNode:
+    """A multicore node with shared memory bus and NIC."""
+
+    def __init__(self, machine: "Machine", index: int, ncores: int,
+                 mem_bandwidth: float, nic_bandwidth: float,
+                 memory_bytes: float = math.inf) -> None:
+        self.machine = machine
+        self.index = index
+        self.ncores = ncores
+        self.memory_bytes = memory_bytes
+        self.cores: List[Core] = [Core(self, i) for i in range(ncores)]
+        network = machine.flows
+        self.membus: LinkCapacity = network.add_capacity(
+            f"node{index}.membus", mem_bandwidth)
+        self.nic_tx: LinkCapacity = network.add_capacity(
+            f"node{index}.nic_tx", nic_bandwidth)
+        self.nic_rx: LinkCapacity = network.add_capacity(
+            f"node{index}.nic_rx", nic_bandwidth)
+
+    def memcpy(self, nbytes: float, rate_cap: float = math.inf,
+               label: str = "memcpy") -> Flow:
+        """Start an intra-node memory copy (e.g. into the Damaris shm buffer).
+
+        Concurrent copies from several cores share the node's memory
+        bandwidth max-min fairly.
+        """
+        return self.machine.flows.transfer(
+            [self.membus], nbytes, rate_cap=rate_cap,
+            label=f"node{self.index}.{label}")
+
+    def compute_cores(self) -> List[Core]:
+        """Cores not dedicated to Damaris."""
+        return [core for core in self.cores if not core.dedicated]
+
+    def dedicated_cores(self) -> List[Core]:
+        """Cores reserved for Damaris."""
+        return [core for core in self.cores if core.dedicated]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SMPNode {self.index} cores={self.ncores}>"

@@ -1,0 +1,139 @@
+"""Jitter sources (Section II-A of the paper).
+
+The paper identifies four causes of I/O jitter:
+
+1. resource contention inside SMP nodes — *emergent* from the shared
+   membus/NIC capacities, not modelled here;
+2. communication/synchronisation — emergent from barriers and collectives;
+3. kernel/OS noise — modelled by :class:`OSNoise`, a multiplicative
+   perturbation of compute-phase durations;
+4. cross-application contention — modelled by
+   :class:`CrossApplicationInterference`, a background load process that
+   modulates storage-side capacities over time.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.node import Core
+    from repro.des.bandwidth import LinkCapacity
+    from repro.des.core import Simulator
+    from repro.des.rng import RandomStreams
+
+__all__ = ["NoiseModel", "NoNoise", "OSNoise",
+           "CrossApplicationInterference"]
+
+
+class NoiseModel:
+    """Interface: dilate a nominal compute duration into an observed one."""
+
+    def bind(self, streams: "RandomStreams") -> None:
+        """Attach the machine's random streams (called by Machine)."""
+        self._streams = streams
+
+    def dilate(self, core: "Core", seconds: float, stream_name: str) -> float:
+        raise NotImplementedError
+
+
+class NoNoise(NoiseModel):
+    """Perfectly quiet operating system (useful for calibration baselines)."""
+
+    def dilate(self, core: "Core", seconds: float, stream_name: str) -> float:
+        return seconds
+
+
+class OSNoise(NoiseModel):
+    """Lognormal multiplicative OS noise on compute phases.
+
+    The paper notes computation phases are "usually stable and only suffer
+    from a small jitter due to the operating system": we default to a ~0.3 %
+    coefficient of variation, far below the orders-of-magnitude I/O
+    variability.
+
+    Parameters
+    ----------
+    sigma:
+        Shape of the lognormal dilation factor (mean-1 normalised).
+    floor:
+        Minimum dilation (a compute phase can never finish early by more
+        than ``1 - floor``).
+    """
+
+    def __init__(self, sigma: float = 0.003, floor: float = 0.999) -> None:
+        if sigma < 0:
+            raise ValueError(f"sigma must be >= 0, got {sigma}")
+        self.sigma = sigma
+        self.floor = floor
+
+    def dilate(self, core: "Core", seconds: float, stream_name: str) -> float:
+        if seconds <= 0 or self.sigma == 0:
+            return max(seconds, 0.0)
+        stream = self._streams.stream(f"{stream_name}.core{core.global_index}")
+        factor = float(stream.lognormal(mean=0.0, sigma=self.sigma))
+        return seconds * max(factor, self.floor)
+
+
+class CrossApplicationInterference:
+    """Background load from other jobs sharing the file system.
+
+    An Ornstein-Uhlenbeck-like process re-samples a *load factor* in
+    ``[min_load, max_load]`` every ``period`` seconds and scales the
+    attached capacities to ``nominal × (1 - load)``. This produces the
+    phase-to-phase unpredictability the paper attributes to shared
+    platforms (external interferences in Lofstead et al.'s terminology).
+    """
+
+    def __init__(self, targets: Sequence[object],
+                 period: float = 10.0, mean_load: float = 0.2,
+                 volatility: float = 0.15, max_load: float = 0.85,
+                 independent: bool = True,
+                 stream_name: str = "cross-app") -> None:
+        if not 0 <= mean_load < 1:
+            raise ValueError(f"mean_load must be in [0,1), got {mean_load}")
+        #: Targets are either StorageTarget objects (preferred — composes
+        #: with their own concurrency model) or raw LinkCapacity objects.
+        self.targets = list(targets)
+        self.period = period
+        self.mean_load = mean_load
+        self.volatility = volatility
+        self.max_load = max_load
+        #: Independent per-target load walks (True) or one shared walk.
+        self.independent = independent
+        self.stream_name = stream_name
+        self.current_loads = [mean_load] * len(self.targets)
+        self._nominal = {
+            id(target): target.capacity for target in self.targets
+            if not hasattr(target, "set_interference")
+        }
+
+    def start(self, sim: "Simulator", streams: "RandomStreams") -> None:
+        """Begin modulating capacities (runs for the whole simulation)."""
+        self._stream = streams.stream(self.stream_name)
+        sim.process(self._run(sim))
+
+    def _apply(self, target: object, load: float) -> None:
+        factor = max(1.0 - load, 1.0 - self.max_load, 1e-3)
+        if hasattr(target, "set_interference"):
+            target.set_interference(factor)
+        else:
+            nominal = self._nominal[id(target)]
+            target.set_capacity(max(nominal * factor, 1.0))
+
+    def _run(self, sim: "Simulator"):
+        n = len(self.targets)
+        loads = np.full(n if self.independent else 1, self.mean_load)
+        while True:
+            # Mean-reverting random walk, clipped to a sane range.
+            steps = self._stream.normal(0.0, self.volatility, size=loads.shape)
+            loads = loads + 0.5 * (self.mean_load - loads) + steps
+            loads = np.clip(loads, 0.0, self.max_load)
+            self.current_loads = (
+                loads.tolist() if self.independent
+                else [float(loads[0])] * n)
+            for target, load in zip(self.targets, self.current_loads):
+                self._apply(target, float(load))
+            yield sim.timeout(self.period)

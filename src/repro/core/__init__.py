@@ -1,0 +1,56 @@
+"""Damaris — dedicated-core asynchronous I/O middleware (the paper's
+contribution).
+
+Architecture (Section III of the paper):
+
+- clients (simulation cores) hand data to the node's dedicated core
+  through a shared-memory buffer (:mod:`repro.core.shm`) — a write costs a
+  single ``memcpy``, or nothing at all with ``dc_alloc``/``dc_commit``;
+- an event queue (:mod:`repro.core.equeue`) carries write-notifications
+  and user-defined events to the server;
+- the server's event-processing engine (:mod:`repro.core.epe`) matches
+  events against the XML configuration (:mod:`repro.core.config`) and runs
+  actions — plugins (:mod:`repro.core.plugins`) that persist, compress,
+  index or analyse the buffered variables
+  (:mod:`repro.core.metadata` keeps the ⟨name, iteration, source, layout⟩
+  index);
+- an optional transfer scheduler (:mod:`repro.core.scheduler`) staggers
+  the dedicated cores' writes to avoid file-system contention
+  (Section IV-D).
+
+Two back-ends share this package: the DES back-end
+(:mod:`repro.core.client` / :mod:`repro.core.server`, used by the paper
+benchmarks) and the real threaded runtime (:mod:`repro.runtime`, used by
+the examples).
+"""
+
+from repro.core.config import ActionSpec, DamarisConfig, VariableSpec
+from repro.core.shm import (
+    Block,
+    MutexAllocator,
+    PartitionedAllocator,
+    SharedMemorySegment,
+)
+from repro.core.equeue import EndOfIteration, UserEvent, WriteNotification
+from repro.core.metadata import VariableStore, StoredVariable
+from repro.core.plugins import PluginRegistry
+from repro.core.scheduler import TransferScheduler
+from repro.core.api import DamarisDeployment
+
+__all__ = [
+    "ActionSpec",
+    "Block",
+    "DamarisConfig",
+    "DamarisDeployment",
+    "EndOfIteration",
+    "MutexAllocator",
+    "PartitionedAllocator",
+    "PluginRegistry",
+    "SharedMemorySegment",
+    "StoredVariable",
+    "TransferScheduler",
+    "UserEvent",
+    "VariableSpec",
+    "VariableStore",
+    "WriteNotification",
+]

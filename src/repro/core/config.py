@@ -1,0 +1,238 @@
+"""Damaris XML configuration.
+
+The paper (Section III-B) keeps static metadata out of the shared-memory
+path: layouts, variables and event→action bindings live in an external XML
+file, directly inspired by ADIOS. The example from the paper::
+
+    <layout name="my_layout" type="real" dimensions="64,16,2"
+            language="fortran" />
+    <variable name="my_variable" layout="my_layout" />
+    <event name="my_event" action="do_something"
+           using="my_plugin.so" scope="local" />
+
+This module parses that dialect (plus an ``<architecture>`` section for
+buffer size, allocator choice and the number of dedicated cores) and
+offers a programmatic builder for tests and examples.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import (
+    ConfigurationError,
+    UnknownLayoutError,
+    UnknownVariableError,
+)
+from repro.formats.layout import Layout
+from repro.units import MiB, parse_size
+
+__all__ = ["VariableSpec", "ActionSpec", "DamarisConfig"]
+
+_VALID_SCOPES = ("local", "global")
+_VALID_ALLOCATORS = ("mutex", "partitioned")
+
+
+@dataclass(frozen=True)
+class VariableSpec:
+    """A declared variable: name + layout reference + descriptive metadata."""
+
+    name: str
+    layout: str
+    group: str = ""
+    unit: str = ""
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class ActionSpec:
+    """An event→action binding: which plugin runs when the event arrives."""
+
+    event: str
+    action: str
+    using: str = ""
+    scope: str = "local"
+
+    def __post_init__(self) -> None:
+        if self.scope not in _VALID_SCOPES:
+            raise ConfigurationError(
+                f"event {self.event!r}: scope must be one of "
+                f"{_VALID_SCOPES}, got {self.scope!r}")
+
+
+@dataclass
+class DamarisConfig:
+    """The parsed configuration: layouts, variables, actions, architecture."""
+
+    layouts: Dict[str, Layout] = field(default_factory=dict)
+    variables: Dict[str, VariableSpec] = field(default_factory=dict)
+    actions: Dict[str, ActionSpec] = field(default_factory=dict)
+    buffer_size: int = 256 * MiB
+    allocator: str = "mutex"
+    dedicated_cores: int = 1
+    queue_size: int = 1024
+
+    # ------------------------------------------------------------------ #
+    # builder API
+    # ------------------------------------------------------------------ #
+    def add_layout(self, name: str, type: str, dimensions, *,
+                   language: str = "c") -> "DamarisConfig":
+        if isinstance(dimensions, str):
+            layout = Layout.parse(name, type, dimensions, language)
+        else:
+            layout = Layout(name, type, tuple(dimensions), language)
+        if name in self.layouts:
+            raise ConfigurationError(f"duplicate layout {name!r}")
+        self.layouts[name] = layout
+        return self
+
+    def add_variable(self, name: str, layout: str, *, group: str = "",
+                     unit: str = "", description: str = "") -> "DamarisConfig":
+        if name in self.variables:
+            raise ConfigurationError(f"duplicate variable {name!r}")
+        self.variables[name] = VariableSpec(name, layout, group, unit,
+                                            description)
+        return self
+
+    def add_event(self, name: str, action: str, *, using: str = "",
+                  scope: str = "local") -> "DamarisConfig":
+        if name in self.actions:
+            raise ConfigurationError(f"duplicate event {name!r}")
+        self.actions[name] = ActionSpec(name, action, using, scope)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def layout_of(self, variable: str) -> Layout:
+        try:
+            spec = self.variables[variable]
+        except KeyError:
+            raise UnknownVariableError(variable) from None
+        try:
+            return self.layouts[spec.layout]
+        except KeyError:
+            raise UnknownLayoutError(
+                f"variable {variable!r} references undeclared layout "
+                f"{spec.layout!r}") from None
+
+    def action_for(self, event: str) -> ActionSpec:
+        try:
+            return self.actions[event]
+        except KeyError:
+            from repro.errors import UnknownEventError
+            raise UnknownEventError(event) from None
+
+    def bytes_per_iteration(self) -> int:
+        """Total bytes one client writes per iteration (all variables)."""
+        return sum(self.layout_of(name).nbytes for name in self.variables)
+
+    def validate(self) -> None:
+        """Check referential integrity and architecture sanity."""
+        for name in self.variables:
+            self.layout_of(name)  # raises on dangling layout references
+        if self.buffer_size < 1:
+            raise ConfigurationError("buffer size must be positive")
+        if self.allocator not in _VALID_ALLOCATORS:
+            raise ConfigurationError(
+                f"allocator must be one of {_VALID_ALLOCATORS}, got "
+                f"{self.allocator!r}")
+        if self.dedicated_cores < 1:
+            raise ConfigurationError("need at least one dedicated core")
+        if self.queue_size < 1:
+            raise ConfigurationError("queue size must be positive")
+
+    # ------------------------------------------------------------------ #
+    # XML
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_xml(cls, text: str) -> "DamarisConfig":
+        """Parse a configuration document (see the module docstring)."""
+        try:
+            root = ET.fromstring(text)
+        except ET.ParseError as exc:
+            raise ConfigurationError(f"malformed XML: {exc}") from exc
+        config = cls()
+
+        for element in root.iter("layout"):
+            config.add_layout(
+                _require(element, "name"),
+                _require(element, "type"),
+                _require(element, "dimensions"),
+                language=element.get("language", "c"),
+            )
+        for element in root.iter("variable"):
+            config.add_variable(
+                _require(element, "name"),
+                _require(element, "layout"),
+                group=element.get("group", ""),
+                unit=element.get("unit", ""),
+                description=element.get("description", ""),
+            )
+        for element in root.iter("event"):
+            config.add_event(
+                _require(element, "name"),
+                _require(element, "action"),
+                using=element.get("using", ""),
+                scope=element.get("scope", "local"),
+            )
+        buffer_element = root.find(".//buffer")
+        if buffer_element is not None:
+            if buffer_element.get("size"):
+                config.buffer_size = parse_size(buffer_element.get("size"))
+            config.allocator = buffer_element.get("allocator",
+                                                  config.allocator)
+        dedicated = root.find(".//dedicated")
+        if dedicated is not None and dedicated.get("cores"):
+            config.dedicated_cores = int(dedicated.get("cores"))
+        queue = root.find(".//queue")
+        if queue is not None and queue.get("size"):
+            config.queue_size = int(queue.get("size"))
+
+        config.validate()
+        return config
+
+    @classmethod
+    def from_file(cls, path: str) -> "DamarisConfig":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_xml(fh.read())
+
+    def to_xml(self) -> str:
+        """Render back to the XML dialect (round-trip support)."""
+        root = ET.Element("damaris")
+        arch = ET.SubElement(root, "architecture")
+        ET.SubElement(arch, "buffer", size=str(self.buffer_size),
+                      allocator=self.allocator)
+        ET.SubElement(arch, "dedicated", cores=str(self.dedicated_cores))
+        ET.SubElement(arch, "queue", size=str(self.queue_size))
+        data = ET.SubElement(root, "data")
+        for layout in self.layouts.values():
+            ET.SubElement(
+                data, "layout", name=layout.name, type=layout.type,
+                dimensions=",".join(str(d) for d in layout.dimensions),
+                language=layout.language)
+        for variable in self.variables.values():
+            attrs = {"name": variable.name, "layout": variable.layout}
+            if variable.group:
+                attrs["group"] = variable.group
+            if variable.unit:
+                attrs["unit"] = variable.unit
+            if variable.description:
+                attrs["description"] = variable.description
+            ET.SubElement(data, "variable", **attrs)
+        actions = ET.SubElement(root, "actions")
+        for action in self.actions.values():
+            ET.SubElement(actions, "event", name=action.event,
+                          action=action.action, using=action.using,
+                          scope=action.scope)
+        return ET.tostring(root, encoding="unicode")
+
+
+def _require(element: ET.Element, attribute: str) -> str:
+    value = element.get(attribute)
+    if value is None:
+        raise ConfigurationError(
+            f"<{element.tag}> element is missing the {attribute!r} attribute")
+    return value

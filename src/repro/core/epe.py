@@ -1,0 +1,63 @@
+"""Event-processing engine: match queue messages to configured actions.
+
+Scope semantics (documented divergence from the C++ implementation, which
+has richer scopes):
+
+- ``scope="local"`` — the action fires **once per (event, iteration)**,
+  after *every* client of the node has signalled it. This is the
+  end-of-iteration persistence pattern from the paper's example program
+  (each rank calls ``df_signal("my_event", step)``).
+- ``scope="global"`` — the action fires immediately on **each** received
+  signal (steering commands from external tools).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+from repro.core.config import ActionSpec, DamarisConfig
+from repro.core.equeue import UserEvent
+from repro.core.plugins import PluginContext, PluginRegistry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.server import DedicatedCoreServer
+
+__all__ = ["EventProcessingEngine"]
+
+
+class EventProcessingEngine:
+    """Per-server dispatcher from user events to plugin invocations."""
+
+    def __init__(self, config: DamarisConfig, registry: PluginRegistry,
+                 server: "DedicatedCoreServer", nclients: int) -> None:
+        self.config = config
+        self.registry = registry
+        self.server = server
+        self.nclients = nclients
+        self._arrivals: Dict[Tuple[str, int], int] = {}
+        self.events_processed = 0
+        self.actions_fired = 0
+
+    def handle(self, event: UserEvent):
+        """Process (generator): dispatch one user event.
+
+        Events with a negative ``source`` are *external* (steering tools,
+        not clients) and fire immediately, bypassing the per-client
+        rendezvous of local-scope events."""
+        self.events_processed += 1
+        spec = self.config.action_for(event.name)
+        if spec.scope == "local" and event.source >= 0:
+            key = (event.name, event.iteration)
+            count = self._arrivals.get(key, 0) + 1
+            if count < self.nclients:
+                self._arrivals[key] = count
+                return
+            self._arrivals.pop(key, None)
+        yield from self._fire(spec, event)
+
+    def _fire(self, spec: ActionSpec, event: UserEvent):
+        plugin = self.registry.get(spec.action)
+        self.actions_fired += 1
+        body = plugin(PluginContext(server=self.server, event=event))
+        if body is not None:
+            yield from body

@@ -1,0 +1,61 @@
+"""Messages travelling on the Damaris event queue.
+
+Clients push two kinds of messages (Section III-B, "Event queue"):
+*write-notifications* telling the server a variable landed in shared
+memory, and *user-defined events* that trigger configured actions. The
+server's event-processing engine pulls them in order.
+
+The message classes are shared by the DES back-end (where the queue is a
+:class:`repro.des.resources.Store`) and the threaded runtime (a deque +
+condition variable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.shm import Block
+
+__all__ = ["WriteNotification", "UserEvent", "EndOfIteration", "Shutdown"]
+
+
+@dataclass(frozen=True)
+class WriteNotification:
+    """`df_write` completed: ``variable`` for ``iteration`` from ``source``
+    is in shared memory at ``block``. ``client`` is the node-local client
+    index (the allocator's region key for the lock-free algorithm).
+    ``shape`` overrides the layout's shape for dynamically-sized
+    variables (particle arrays — Section III-D's "arrays that don't have
+    a static shape")."""
+
+    variable: str
+    iteration: int
+    source: int
+    block: Block
+    client: int = 0
+    shape: Optional[tuple] = None
+
+
+@dataclass(frozen=True)
+class UserEvent:
+    """`df_signal`: fire the action configured for ``name``."""
+
+    name: str
+    iteration: int
+    source: int
+
+
+@dataclass(frozen=True)
+class EndOfIteration:
+    """Internal marker the server synthesises when every client of the
+    node has signalled the end of ``iteration``."""
+
+    iteration: int
+
+
+@dataclass(frozen=True)
+class Shutdown:
+    """`df_finalize` from the last client: drain and stop the server."""
+
+    source: int = -1

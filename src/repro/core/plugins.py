@@ -1,0 +1,112 @@
+"""Plugin registry and the standard action plugins.
+
+Section III-C: *"The EPE can be enriched by plugins provided by the user.
+A plugin is a function [...] that the EPE will load and call in response
+to events sent by the application."*
+
+A plugin is a callable ``plugin(context)`` returning a generator (a DES
+process body) or ``None``. The :class:`PluginContext` hands it the server,
+the triggering event and the buffered variables of that iteration.
+
+Standard plugins (referenced from configuration ``action=`` attributes):
+
+- ``persist``      — write the iteration's variables to one file per node
+  through the server's persistency layer (the paper's HDF5 plugin);
+- ``compress``     — run the configured compression pipeline on the
+  buffered data (CPU time on the dedicated core; shrinks output bytes),
+  then persist;
+- ``statistics``   — compute summary statistics (cheap CPU), no output;
+- ``discard``      — drop the iteration's data without writing (useful to
+  measure pure overlap capacity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+from repro.errors import PluginError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.equeue import UserEvent
+    from repro.core.metadata import StoredVariable
+    from repro.core.server import DedicatedCoreServer
+
+__all__ = ["PluginContext", "PluginRegistry"]
+
+
+@dataclass
+class PluginContext:
+    """Everything a plugin may touch."""
+
+    server: "DedicatedCoreServer"
+    event: "UserEvent"
+
+    @property
+    def iteration(self) -> int:
+        return self.event.iteration
+
+    @property
+    def entries(self) -> List["StoredVariable"]:
+        return self.server.store.iteration_entries(self.event.iteration)
+
+
+class PluginRegistry:
+    """Name → plugin callable. Users register their own; the standard
+    plugins are pre-registered."""
+
+    def __init__(self, include_standard: bool = True) -> None:
+        self._plugins: Dict[str, Callable] = {}
+        if include_standard:
+            self.register("persist", _persist_plugin)
+            self.register("compress", _compress_plugin)
+            self.register("statistics", _statistics_plugin)
+            self.register("discard", _discard_plugin)
+
+    def register(self, name: str, plugin: Callable) -> None:
+        if not callable(plugin):
+            raise PluginError(f"plugin {name!r} is not callable")
+        if name in self._plugins:
+            raise PluginError(f"plugin {name!r} already registered")
+        self._plugins[name] = plugin
+
+    def get(self, name: str) -> Callable:
+        try:
+            return self._plugins[name]
+        except KeyError:
+            raise PluginError(f"no plugin registered under {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._plugins
+
+    def names(self) -> List[str]:
+        return sorted(self._plugins)
+
+
+# ---------------------------------------------------------------------- #
+# standard plugins (DES process bodies)
+# ---------------------------------------------------------------------- #
+def _persist_plugin(context: PluginContext):
+    yield from context.server.persist_iteration(context.iteration)
+
+
+def _compress_plugin(context: PluginContext):
+    yield from context.server.compress_iteration(context.iteration)
+    yield from context.server.persist_iteration(context.iteration)
+
+
+def _statistics_plugin(context: PluginContext):
+    # A cheap streaming pass over the buffered bytes (min/max/mean ~ one
+    # read of the data at memory speed on the dedicated core).
+    server = context.server
+    total = sum(entry.nbytes for entry in context.entries)
+    scan_bandwidth = 4e9  # bytes/s of a single-core streaming reduction
+    if total > 0:
+        yield server.machine.sim.timeout(total / scan_bandwidth)
+    server.stats_runs += 1
+
+
+def _discard_plugin(context: PluginContext):
+    server = context.server
+    yield server.machine.sim.timeout(0.0)
+    server.release_iteration(context.iteration)

@@ -1,0 +1,53 @@
+"""Data-transfer slot scheduling (Section IV-D).
+
+*"each dedicated core computes an estimation of the computation time of an
+iteration from a first run of the simulation [...]. This time is then
+divided into as many slots as dedicated cores. Each dedicated core then
+waits for its slot before writing. This avoids access contention at the
+level of the file system."*
+
+No inter-process communication is involved: each scheduler instance knows
+only its own slot index and the (estimated) iteration period.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ReproError
+
+__all__ = ["TransferScheduler"]
+
+
+class TransferScheduler:
+    """Contention-free write staggering for one dedicated core."""
+
+    def __init__(self, slot_index: int, nslots: int,
+                 estimated_period: Optional[float] = None) -> None:
+        if nslots < 1:
+            raise ReproError(f"need >= 1 slot, got {nslots}")
+        if not 0 <= slot_index < nslots:
+            raise ReproError(
+                f"slot index {slot_index} out of range 0..{nslots - 1}")
+        self.slot_index = slot_index
+        self.nslots = nslots
+        self.estimated_period = estimated_period
+        self._last_phase_start: Optional[float] = None
+
+    def observe_phase_start(self, now: float) -> None:
+        """Learn the iteration period from successive write-phase starts
+        (the paper's 'estimation from a first run')."""
+        if self._last_phase_start is not None and self.estimated_period is None:
+            self.estimated_period = now - self._last_phase_start
+        self._last_phase_start = now
+
+    def slot_offset(self) -> float:
+        """Seconds after the phase start at which this core may write."""
+        if self.estimated_period is None:
+            return 0.0  # first phase: no estimate yet, write immediately
+        return self.estimated_period * self.slot_index / self.nslots
+
+    def delay_until_slot(self, now: float, phase_start: float) -> float:
+        """How long to wait from ``now`` before starting the write."""
+        target = phase_start + self.slot_offset()
+        return max(0.0, target - now)

@@ -1,0 +1,221 @@
+"""The dedicated-core server (DES back-end).
+
+One server runs on each dedicated core. It owns the node's shared-memory
+segment and event queue, keeps the variable metadata store, and reacts to
+user events through the EPE: compressing, scheduling and persisting the
+buffered variables into **one large file per node per iteration** — the
+aggregation that gives Damaris its throughput advantage (fewer metadata
+operations, bigger contiguous writes, no inter-node synchronisation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.core.config import DamarisConfig
+from repro.core.equeue import Shutdown, UserEvent, WriteNotification
+from repro.core.metadata import StoredVariable, VariableStore
+from repro.core.plugins import PluginRegistry
+from repro.core.epe import EventProcessingEngine
+from repro.core.scheduler import TransferScheduler
+from repro.core.shm import SharedMemorySegment
+from repro.des.core import Event
+from repro.des.resources import Resource, Store
+from repro.formats.compression import CompressionModel
+from repro.formats.hdf5model import HDF5CostModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.machine import Machine
+    from repro.cluster.node import Core, SMPNode
+    from repro.storage.filesystem import ParallelFileSystem
+
+__all__ = ["DamarisOptions", "DedicatedCoreServer"]
+
+
+@dataclass
+class DamarisOptions:
+    """Deployment-wide tunables of the DES back-end."""
+
+    #: Post-process data with this model before writing (None = raw).
+    compression: Optional[CompressionModel] = None
+    #: Stagger dedicated-core writes into slots (Section IV-D).
+    use_scheduler: bool = False
+    #: Format cost model for the persistency layer.
+    hdf5: HDF5CostModel = field(default_factory=HDF5CostModel)
+    #: Cost of one mutex-protected shm reservation (Boost allocator).
+    mutex_latency: float = 2.0e-6
+    #: Cost of pushing one message onto the shared event queue.
+    queue_latency: float = 1.0e-6
+    #: Where per-node files land inside the simulated file system.
+    output_dir: str = "damaris"
+    #: Stripe count for the per-node output files (None = fs default).
+    stripe_count: Optional[int] = None
+
+
+class DedicatedCoreServer:
+    """Damaris server process bound to one dedicated core."""
+
+    def __init__(self, machine: "Machine", fs: "ParallelFileSystem",
+                 config: DamarisConfig, options: DamarisOptions,
+                 registry: PluginRegistry, core: "Core", nclients: int,
+                 slot_index: int = 0, nslots: int = 1) -> None:
+        self.machine = machine
+        self.fs = fs
+        self.config = config
+        self.options = options
+        self.core = core
+        self.node: "SMPNode" = core.node
+        self.nclients = nclients
+
+        self.segment = SharedMemorySegment(
+            config.buffer_size, allocator=config.allocator,
+            nclients=max(nclients, 1))
+        self.queue = Store(machine.sim, capacity=config.queue_size)
+        self.store = VariableStore()
+        self.epe = EventProcessingEngine(config, registry, self, nclients)
+        #: Serialisation point of the mutex-based allocator.
+        self.alloc_mutex = Resource(machine.sim, capacity=1)
+        self.scheduler: Optional[TransferScheduler] = (
+            TransferScheduler(slot_index, nslots)
+            if options.use_scheduler else None)
+
+        # Accounting.
+        self.busy_by_iteration: Dict[int, float] = {}
+        self.persist_start_by_iteration: Dict[int, float] = {}
+        self.persist_end_by_iteration: Dict[int, float] = {}
+        self.bytes_raw = 0.0
+        self.bytes_out = 0.0
+        self.files_written = 0
+        self.stats_runs = 0
+        self._finalized_clients = 0
+        self._free_waiters: List[Event] = []
+        self._busy_accumulator: Dict[int, float] = {}
+        self.running = False
+
+    # ------------------------------------------------------------------ #
+    # main loop
+    # ------------------------------------------------------------------ #
+    def run(self):
+        """The server process body (spawn with ``sim.process``)."""
+        self.running = True
+        while True:
+            message = yield self.queue.get()
+            if isinstance(message, WriteNotification):
+                self._on_write(message)
+            elif isinstance(message, UserEvent):
+                yield from self.epe.handle(message)
+            elif isinstance(message, Shutdown):
+                self._finalized_clients += 1
+                if self._finalized_clients >= self.nclients:
+                    break
+        # Drain: persist anything still buffered (flush-on-finalize).
+        for iteration in self.store.iterations():
+            yield from self.persist_iteration(iteration)
+        self.running = False
+
+    def _on_write(self, message: WriteNotification) -> None:
+        layout = self.config.layout_of(message.variable)
+        self.store.add(StoredVariable(
+            name=message.variable,
+            iteration=message.iteration,
+            source=message.source,
+            layout=layout,
+            block=message.block,
+            nbytes=message.block.size,
+            local_client=message.client,
+        ))
+
+    # ------------------------------------------------------------------ #
+    # actions (invoked by plugins through the EPE)
+    # ------------------------------------------------------------------ #
+    def compress_iteration(self, iteration: int):
+        """Process: run the compression model over the iteration's data."""
+        model = self.options.compression
+        entries = self.store.iteration_entries(iteration)
+        if model is None or not entries:
+            return
+        started = self.machine.sim.now
+        total = sum(entry.nbytes for entry in entries)
+        yield self.machine.sim.timeout(model.cpu_seconds(total))
+        for entry in entries:
+            entry.processed_bytes = int(model.output_bytes(entry.nbytes))
+        self._busy_accumulator[iteration] = (
+            self._busy_accumulator.get(iteration, 0.0)
+            + (self.machine.sim.now - started))
+
+    def persist_iteration(self, iteration: int):
+        """Process: write the iteration's variables as one per-node file."""
+        entries = self.store.iteration_entries(iteration)
+        if not entries:
+            return
+        phase_start = self.machine.sim.now
+        if self.scheduler is not None:
+            self.scheduler.observe_phase_start(phase_start)
+            delay = self.scheduler.delay_until_slot(self.machine.sim.now,
+                                                    phase_start)
+            if delay > 0:
+                yield self.machine.sim.timeout(delay)
+
+        busy_start = self.machine.sim.now
+        raw = sum(entry.nbytes for entry in entries)
+        out = sum(entry.output_bytes for entry in entries)
+        file_bytes = self.options.hdf5.file_bytes(out, len(entries))
+
+        pack = self.options.hdf5.pack_time(out)
+        if pack > 0:
+            yield self.machine.sim.timeout(pack)
+
+        path = (f"{self.options.output_dir}/node{self.node.index}"
+                f"/core{self.core.index}/iter{iteration}.h5")
+        sim = self.machine.sim
+        handle = yield sim.process(self.fs.create(
+            self.node, path, stripe_count=self.options.stripe_count))
+        yield sim.process(self.fs.write(handle, 0, int(file_bytes),
+                                        label="damaris"))
+        yield sim.process(self.fs.close(handle))
+
+        self.release_iteration(iteration)
+        busy = (self.machine.sim.now - busy_start
+                + self._busy_accumulator.pop(iteration, 0.0))
+        self.busy_by_iteration[iteration] = busy
+        self.persist_start_by_iteration[iteration] = busy_start
+        self.persist_end_by_iteration[iteration] = self.machine.sim.now
+        self.bytes_raw += raw
+        self.bytes_out += out
+        self.files_written += 1
+        monitor = self.machine.monitor
+        monitor.series(f"damaris.node{self.node.index}.write_time").record(
+            self.machine.sim.now, busy)
+        monitor.counter("damaris.bytes_raw").add(raw)
+        monitor.counter("damaris.bytes_out").add(out)
+
+    def release_iteration(self, iteration: int) -> None:
+        """Free the iteration's shared-memory blocks and wake any client
+        stalled on a full buffer."""
+        for entry in self.store.pop_iteration(iteration):
+            self.segment.free(entry.block, client=entry.local_client)
+        waiters, self._free_waiters = self._free_waiters, []
+        for waiter in waiters:
+            waiter.succeed()
+
+    def wait_for_free(self) -> Event:
+        """Event that fires the next time buffer space is released."""
+        event = Event(self.machine.sim)
+        self._free_waiters.append(event)
+        return event
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def spare_time(self, iteration_period: float) -> float:
+        """Average fraction of each iteration the dedicated core is idle."""
+        if not self.busy_by_iteration or iteration_period <= 0:
+            return 1.0
+        import numpy as np
+        busy = float(np.mean(list(self.busy_by_iteration.values())))
+        return max(0.0, 1.0 - busy / iteration_period)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<DedicatedCoreServer node={self.node.index} "
+                f"clients={self.nclients} files={self.files_written}>")

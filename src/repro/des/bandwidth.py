@@ -1,0 +1,367 @@
+"""Flow-level bandwidth sharing with max-min fairness.
+
+Every contended byte-moving component in the cluster models — a node's NIC,
+a network bisection, a storage target, a node's memory bus — is a
+:class:`LinkCapacity`. A data movement is a :class:`Flow` spanning one or
+more capacities (e.g. source NIC → interconnect → storage target). Active
+flows share each capacity max-min fairly; per-flow rate caps (used to model
+per-stream efficiency limits and injected interference) participate in the
+water-filling.
+
+The implementation is a structure-of-arrays over numpy so that a
+barrier-synchronised I/O storm of ~10⁴ flows costs a handful of O(F)
+vectorised solves rather than O(F²) Python loops: shares are recomputed
+only when the set of active flows changes (arrivals are batched per
+timestamp; completions are discovered by a single "next completion" event).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.des.core import Event, Simulator, PRIORITY_LATE
+from repro.errors import SimulationError
+
+__all__ = ["LinkCapacity", "Flow", "FlowNetwork"]
+
+#: Maximum number of capacities a single flow may traverse.
+MAX_RES_PER_FLOW = 4
+
+_REL_EPS = 1e-9
+
+
+class LinkCapacity:
+    """A named, shared capacity (bytes/s) inside a :class:`FlowNetwork`."""
+
+    __slots__ = ("network", "index", "name")
+
+    def __init__(self, network: "FlowNetwork", index: int, name: str) -> None:
+        self.network = network
+        self.index = index
+        self.name = name
+
+    @property
+    def capacity(self) -> float:
+        return float(self.network._capacities[self.index])
+
+    def set_capacity(self, capacity: float) -> None:
+        """Change the capacity (e.g. background interference); reshapes flows."""
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be > 0, got {capacity}")
+        self.network._capacities[self.index] = capacity
+        self.network._request_recompute()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<LinkCapacity {self.name!r} {self.capacity:.3g} B/s>"
+
+
+class Flow:
+    """Handle on an in-flight transfer. ``flow.event`` fires on completion."""
+
+    __slots__ = ("network", "index", "event", "nbytes", "start_time",
+                 "end_time", "label")
+
+    def __init__(self, network: "FlowNetwork", index: int, event: Event,
+                 nbytes: float, start_time: float, label: str) -> None:
+        self.network = network
+        self.index = index
+        self.event = event
+        self.nbytes = nbytes
+        self.start_time = start_time
+        self.end_time: Optional[float] = None
+        self.label = label
+
+    @property
+    def duration(self) -> float:
+        """Completion time minus start time (only valid once completed)."""
+        if self.end_time is None:
+            raise SimulationError(f"flow {self.label!r} has not completed")
+        return self.end_time - self.start_time
+
+    @property
+    def remaining(self) -> float:
+        """Bytes still to transfer, as of the last share recomputation."""
+        return float(self.network._remaining[self.index])
+
+    def cancel(self) -> None:
+        """Abort the transfer; the completion event never fires."""
+        self.network._cancel(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Flow {self.label!r} {self.nbytes:.3g} B>"
+
+
+class FlowNetwork:
+    """All capacities and flows of one simulated machine.
+
+    ``completion_slack`` bounds a deliberate approximation: when the
+    earliest flow completes, every flow within ``completion_slack ×
+    elapsed`` of its own finish completes in the same batch (i.e. each
+    flow's duration may be shortened by at most that relative fraction).
+    This turns an N-flow I/O storm with near-identical finish times from N
+    share recomputations into a handful, at a bounded per-flow timing
+    error. The default is exact (0.0); cluster-scale models opt in.
+    """
+
+    def __init__(self, sim: Simulator, completion_slack: float = 0.0,
+                 fairness_slack: float = 0.0) -> None:
+        if completion_slack < 0:
+            raise SimulationError(
+                f"completion_slack must be >= 0, got {completion_slack}")
+        if fairness_slack < 0:
+            raise SimulationError(
+                f"fairness_slack must be >= 0, got {fairness_slack}")
+        self.sim = sim
+        self.completion_slack = float(completion_slack)
+        #: Rate levels within this relative tolerance of the bottleneck
+        #: freeze together in one water-filling round — an approximation
+        #: that turns hundreds of near-equal bottleneck levels (distinct
+        #: per-target loads) into a handful of vectorised rounds.
+        self.fairness_slack = float(fairness_slack)
+        self._capacities = np.zeros(0, dtype=float)
+        self._cap_names: List[str] = []
+        self._links: Dict[str, LinkCapacity] = {}
+
+        size = 64
+        self._remaining = np.zeros(size, dtype=float)
+        self._rate = np.zeros(size, dtype=float)
+        self._flow_cap = np.full(size, np.inf, dtype=float)
+        self._active = np.zeros(size, dtype=bool)
+        self._start = np.zeros(size, dtype=float)
+        self._res = np.full((size, MAX_RES_PER_FLOW), -1, dtype=np.int64)
+        self._flows: List[Optional[Flow]] = [None] * size
+        self._free: List[int] = list(range(size - 1, -1, -1))
+
+        self._last_update = 0.0
+        self._recompute_scheduled = False
+        self._version = 0
+        self.total_bytes_moved = 0.0
+        self.completed_flows = 0
+
+    # ------------------------------------------------------------------ #
+    # capacities
+    # ------------------------------------------------------------------ #
+    def add_capacity(self, name: str, capacity: float) -> LinkCapacity:
+        """Register a new shared capacity (bytes/s)."""
+        if name in self._links:
+            raise SimulationError(f"duplicate capacity name {name!r}")
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be > 0, got {capacity}")
+        index = len(self._cap_names)
+        self._cap_names.append(name)
+        self._capacities = np.append(self._capacities, float(capacity))
+        link = LinkCapacity(self, index, name)
+        self._links[name] = link
+        return link
+
+    def link(self, name: str) -> LinkCapacity:
+        return self._links[name]
+
+    @property
+    def active_flow_count(self) -> int:
+        return int(self._active.sum())
+
+    # ------------------------------------------------------------------ #
+    # flows
+    # ------------------------------------------------------------------ #
+    def transfer(self, resources: Sequence[LinkCapacity], nbytes: float,
+                 rate_cap: float = math.inf, label: str = "") -> Flow:
+        """Start a transfer of ``nbytes`` across ``resources``.
+
+        Returns a :class:`Flow` whose ``event`` succeeds (with the flow as
+        value) once the last byte has moved. ``rate_cap`` bounds the flow's
+        own rate (per-stream efficiency, interference injection).
+        """
+        if nbytes < 0:
+            raise SimulationError(f"cannot transfer negative bytes: {nbytes}")
+        if len(resources) > MAX_RES_PER_FLOW:
+            raise SimulationError(
+                f"flow spans {len(resources)} capacities, max is "
+                f"{MAX_RES_PER_FLOW}")
+        if not resources and not math.isfinite(rate_cap):
+            raise SimulationError(
+                "a flow needs at least one capacity or a finite rate cap")
+        for res in resources:
+            if res.network is not self:
+                raise SimulationError(
+                    f"capacity {res.name!r} belongs to another network")
+        if rate_cap <= 0:
+            raise SimulationError(f"rate_cap must be > 0, got {rate_cap}")
+
+        event = Event(self.sim)
+        if nbytes == 0:
+            flow = Flow(self, -1, event, 0.0, self.sim.now, label)
+            flow.end_time = self.sim.now
+            event.succeed(flow)
+            return flow
+
+        index = self._alloc_slot()
+        flow = Flow(self, index, event, float(nbytes), self.sim.now, label)
+        self._remaining[index] = float(nbytes)
+        self._rate[index] = 0.0
+        self._start[index] = self.sim.now
+        self._flow_cap[index] = rate_cap
+        self._res[index, :] = -1
+        for k, res in enumerate(resources):
+            self._res[index, k] = res.index
+        self._active[index] = True
+        self._flows[index] = flow
+        self._request_recompute()
+        return flow
+
+    def _alloc_slot(self) -> int:
+        if not self._free:
+            old = len(self._flows)
+            new = old * 2
+            self._remaining = np.resize(self._remaining, new)
+            self._rate = np.resize(self._rate, new)
+            self._flow_cap = np.resize(self._flow_cap, new)
+            self._start = np.resize(self._start, new)
+            grown_active = np.zeros(new, dtype=bool)
+            grown_active[:old] = self._active
+            self._active = grown_active
+            grown_res = np.full((new, MAX_RES_PER_FLOW), -1, dtype=np.int64)
+            grown_res[:old] = self._res
+            self._res = grown_res
+            self._flows.extend([None] * (new - old))
+            self._free.extend(range(new - 1, old - 1, -1))
+        return self._free.pop()
+
+    def _cancel(self, flow: Flow) -> None:
+        if flow.index < 0 or self._flows[flow.index] is not flow:
+            return
+        self._release_slot(flow.index)
+        self._request_recompute()
+
+    def _release_slot(self, index: int) -> None:
+        self._active[index] = False
+        self._flows[index] = None
+        self._rate[index] = 0.0
+        self._remaining[index] = 0.0
+        self._free.append(index)
+
+    # ------------------------------------------------------------------ #
+    # share recomputation
+    # ------------------------------------------------------------------ #
+    def _request_recompute(self) -> None:
+        if self._recompute_scheduled:
+            return
+        self._recompute_scheduled = True
+        # Late priority: all same-timestamp arrivals/departures batch into
+        # one recomputation.
+        self.sim.schedule_callback(0.0, self._recompute, priority=PRIORITY_LATE)
+
+    def _advance(self) -> None:
+        """Progress all active flows from the last update time to now."""
+        now = self.sim.now
+        dt = now - self._last_update
+        if dt > 0:
+            moved = self._rate * dt * self._active
+            self._remaining -= moved
+            np.clip(self._remaining, 0.0, None, out=self._remaining)
+            self.total_bytes_moved += float(moved.sum())
+        self._last_update = now
+
+    def _recompute(self) -> None:
+        self._recompute_scheduled = False
+        self._advance()
+        self._complete_finished()
+        idx = np.flatnonzero(self._active)
+        self._version += 1
+        if idx.size == 0:
+            return
+        rates = self._maxmin_rates(idx)
+        self._rate[idx] = rates
+        with np.errstate(divide="ignore"):
+            finish = self._remaining[idx] / rates
+        t_next = float(finish.min())
+        version = self._version
+        self.sim.schedule_callback(
+            max(t_next, 0.0),
+            lambda: self._on_completion_tick(version),
+            priority=PRIORITY_LATE,
+        )
+
+    def _on_completion_tick(self, version: int) -> None:
+        if version != self._version:
+            return  # stale: the flow set changed since this was scheduled
+        self._recompute()
+
+    def _complete_finished(self) -> None:
+        # A flow is done when its remaining volume is within tolerance: an
+        # exact epsilon plus the completion-slack fraction of the time it
+        # has already been running (bounded relative timing error; batches
+        # near-simultaneous completions into one recomputation).
+        now = self.sim.now
+        tol_seconds = self.completion_slack * (now - self._start) + _REL_EPS
+        tol = self._rate * tol_seconds + 1e-6
+        done = self._active & (self._remaining <= tol)
+        if not done.any():
+            return
+        # Account the short-cut remainder as moved.
+        self.total_bytes_moved += float(self._remaining[done].sum())
+        for index in np.flatnonzero(done):
+            flow = self._flows[index]
+            self._release_slot(int(index))
+            if flow is None:
+                continue
+            flow.end_time = now
+            self.completed_flows += 1
+            flow.event.succeed(flow)
+
+    def _maxmin_rates(self, idx: np.ndarray) -> np.ndarray:
+        """Max-min fair rates (with per-flow caps) for active flow slots.
+
+        Each round computes every unfrozen flow's *candidate* rate — the
+        minimum of its resources' fair shares and its own cap — and
+        freezes all flows whose candidate lies within ``fairness_slack``
+        of the global bottleneck, at their candidate. With slack 0 this is
+        exact max-min; with a small slack, near-equal bottleneck levels
+        batch into one round (hundreds of rounds → a handful).
+        """
+        res = self._res[idx]                      # (F, K)
+        valid = res >= 0                          # (F, K)
+        caps = self._flow_cap[idx]                # (F,)
+        nflows = idx.size
+        nres = self._capacities.size
+        rate = np.zeros(nflows, dtype=float)
+        frozen = np.zeros(nflows, dtype=bool)
+        cap_rem = self._capacities.astype(float).copy()
+        res_clipped = np.where(valid, res, 0)
+        batch = 1.0 + self.fairness_slack + 1e-12
+
+        for _ in range(nflows + nres + 1):
+            unfrozen = ~frozen
+            if not unfrozen.any():
+                break
+            members = res[unfrozen][valid[unfrozen]]
+            if members.size == 0:
+                # Remaining flows touch no capacity: bounded by caps only.
+                rate[unfrozen] = caps[unfrozen]
+                break
+            counts = np.zeros(nres, dtype=float)
+            np.add.at(counts, members, 1.0)
+            used = counts > 0
+            share = np.full(nres, np.inf)
+            share[used] = np.maximum(cap_rem[used], 0.0) / counts[used]
+            # Per-flow candidate: min share across its resources, then cap.
+            flow_share = np.where(valid, share[res_clipped], np.inf)
+            candidate = np.minimum(flow_share.min(axis=1), caps)
+            s_star = float(candidate[unfrozen].min())
+
+            freeze = unfrozen & (candidate <= s_star * batch)
+            rate[freeze] = candidate[freeze]
+            frozen[freeze] = True
+            consumed = np.zeros(nres, dtype=float)
+            flat_rate = np.repeat(candidate[freeze], MAX_RES_PER_FLOW)
+            flat_res = res_clipped[freeze].ravel()
+            flat_valid = valid[freeze].ravel()
+            np.add.at(consumed, flat_res[flat_valid], flat_rate[flat_valid])
+            cap_rem -= consumed
+
+        # Numerical safety: every active flow must make progress.
+        np.maximum(rate, 1e-12, out=rate)
+        return rate

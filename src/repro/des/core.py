@@ -1,0 +1,232 @@
+"""Event loop, simulated clock and primitive events.
+
+The kernel is deliberately small: a binary heap of ``(time, priority, seq)``
+keys mapped to :class:`Event` objects. Everything else (processes,
+resources, flows) is built on top of events and callbacks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from repro.errors import SimulationError
+
+__all__ = ["Event", "Simulator", "Timeout", "PRIORITY_URGENT",
+           "PRIORITY_NORMAL", "PRIORITY_LATE"]
+
+#: Scheduling priority for events that must run before same-time normal events
+#: (used e.g. to batch flow arrivals before the bandwidth recomputation).
+PRIORITY_URGENT = 0
+#: Default scheduling priority.
+PRIORITY_NORMAL = 1
+#: Scheduling priority for events that must run after all same-time normal
+#: events (e.g. bandwidth-share recomputation after a batch of flow arrivals).
+PRIORITY_LATE = 2
+
+# Event lifecycle states.
+_PENDING = 0
+_TRIGGERED = 1  # scheduled in the heap, not yet processed
+_PROCESSED = 2
+
+
+class Event:
+    """A one-shot occurrence that callbacks (and processes) can wait on.
+
+    An event starts *pending*; :meth:`succeed` or :meth:`fail` *triggers* it,
+    scheduling it on its simulator's queue; when the simulator pops it, its
+    callbacks run and it becomes *processed*.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_exception", "_state", "_defused")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._state = _PENDING
+        self._defused = False
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled (succeeded or failed)."""
+        return self._state != _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self._state == _PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self.triggered and self._exception is None
+
+    @property
+    def value(self) -> Any:
+        """The event's value. Raises if the event failed."""
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        return self._exception
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so the simulator does not crash."""
+        self._defused = True
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0,
+                priority: int = PRIORITY_NORMAL) -> "Event":
+        """Trigger the event successfully with ``value`` after ``delay``."""
+        if self._state != _PENDING:
+            raise SimulationError(f"event {self!r} already triggered")
+        self._value = value
+        self._state = _TRIGGERED
+        self.sim._schedule(self, delay, priority)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0,
+             priority: int = PRIORITY_NORMAL) -> "Event":
+        """Trigger the event as failed with ``exception`` after ``delay``."""
+        if self._state != _PENDING:
+            raise SimulationError(f"event {self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._exception = exception
+        self._state = _TRIGGERED
+        self.sim._schedule(self, delay, priority)
+        return self
+
+    def _process(self) -> None:
+        """Run callbacks; called by the simulator event loop."""
+        self._state = _PROCESSED
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+        if self._exception is not None and not self._defused:
+            raise self._exception
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = {_PENDING: "pending", _TRIGGERED: "triggered",
+                 _PROCESSED: "processed"}[self._state]
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires automatically after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._value = value
+        self._state = _TRIGGERED
+        sim._schedule(self, delay, PRIORITY_NORMAL)
+
+
+class Simulator:
+    """The discrete-event simulator: clock plus event queue.
+
+    >>> sim = Simulator()
+    >>> done = []
+    >>> def hello(sim):
+    ...     yield sim.timeout(3.0)
+    ...     done.append(sim.now)
+    >>> _ = sim.process(hello(sim))
+    >>> sim.run()
+    >>> done
+    [3.0]
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: List[Any] = []
+        self._seq = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- factory helpers ---------------------------------------------------
+    def event(self) -> Event:
+        """Create a new pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator) -> "Process":
+        """Start a new process from a generator. See :class:`Process`."""
+        from repro.des.process import Process  # cycle: process builds on core
+
+        return Process(self, generator)
+
+    # -- scheduling ---------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0,
+                  priority: int = PRIORITY_NORMAL) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+
+    def schedule_callback(self, delay: float, callback: Callable[[], None],
+                          priority: int = PRIORITY_NORMAL) -> Event:
+        """Schedule a plain callable to run after ``delay`` seconds."""
+        event = Event(self)
+        event.callbacks.append(lambda _evt: callback())
+        return event.succeed(delay=delay, priority=priority)
+
+    # -- the loop ------------------------------------------------------------
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._heap:
+            raise SimulationError("step() on an empty event queue")
+        time, _prio, _seq, event = heapq.heappop(self._heap)
+        self._now = time
+        event._process()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue is empty or simulated time reaches ``until``."""
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        try:
+            if until is None:
+                while self._heap:
+                    self.step()
+            else:
+                if until < self._now:
+                    raise SimulationError(
+                        f"run(until={until}) is in the past (now={self._now})")
+                while self._heap and self._heap[0][0] <= until:
+                    self.step()
+                self._now = max(self._now, until) if until != float("inf") \
+                    else self._now
+        finally:
+            self._running = False
+
+    def run_until_complete(self, process: "Event") -> Any:
+        """Run until ``process`` (or any event) completes; return its value."""
+        finished = []
+        process.callbacks.append(finished.append)
+        while not finished:
+            if not self._heap:
+                raise SimulationError(
+                    "event queue exhausted before the awaited event completed")
+            self.step()
+        return process.value

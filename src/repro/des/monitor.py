@@ -1,0 +1,105 @@
+"""Lightweight instrumentation: counters and time series.
+
+Models record into a shared :class:`Monitor`; experiment harnesses read the
+aggregated values afterwards. Recording is O(1) appends; analysis converts
+to numpy arrays lazily.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+__all__ = ["Counter", "TimeSeries", "Monitor"]
+
+
+class Counter:
+    """A monotonically adjustable named quantity (e.g. bytes written)."""
+
+    __slots__ = ("name", "value", "events")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.events = 0
+
+    def add(self, amount: float = 1.0) -> None:
+        self.value += amount
+        self.events += 1
+
+
+class TimeSeries:
+    """Timestamped samples of a named quantity (e.g. write-phase duration)."""
+
+    __slots__ = ("name", "_times", "_values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._times: List[float] = []
+        self._values: List[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        self._times.append(time)
+        self._values.append(value)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def times(self) -> np.ndarray:
+        return np.asarray(self._times, dtype=float)
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.asarray(self._values, dtype=float)
+
+    def mean(self) -> float:
+        return float(np.mean(self._values)) if self._values else 0.0
+
+    def max(self) -> float:
+        return float(np.max(self._values)) if self._values else 0.0
+
+    def min(self) -> float:
+        return float(np.min(self._values)) if self._values else 0.0
+
+    def std(self) -> float:
+        return float(np.std(self._values)) if self._values else 0.0
+
+    def total(self) -> float:
+        return float(np.sum(self._values)) if self._values else 0.0
+
+
+class Monitor:
+    """A registry of counters and time series, keyed by name."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._series: Dict[str, TimeSeries] = {}
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def series(self, name: str) -> TimeSeries:
+        series = self._series.get(name)
+        if series is None:
+            series = self._series[name] = TimeSeries(name)
+        return series
+
+    def has_series(self, name: str) -> bool:
+        return name in self._series
+
+    def counters(self) -> Dict[str, Counter]:
+        return dict(self._counters)
+
+    def all_series(self) -> Dict[str, TimeSeries]:
+        return dict(self._series)
+
+    def series_matching(self, prefix: str) -> List[Tuple[str, TimeSeries]]:
+        return sorted(
+            (name, ts) for name, ts in self._series.items()
+            if name.startswith(prefix)
+        )

@@ -1,0 +1,214 @@
+"""Queued resources: FIFO servers, priority servers and object stores.
+
+These model anything with limited concurrency — a metadata server that
+serves one request at a time, a disk with a bounded queue depth, a pool of
+I/O aggregators. For *bandwidth-shared* components (NICs, links, storage
+targets) use :mod:`repro.des.bandwidth` instead.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional
+
+from repro.des.core import Event, Simulator
+from repro.errors import SimulationError
+
+__all__ = ["Resource", "PriorityResource", "Store"]
+
+
+class Request(Event):
+    """A pending acquisition of a :class:`Resource` slot."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.sim)
+        self.resource = resource
+
+    # Support ``with resource.request() as req: yield req``.
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """A resource with ``capacity`` slots and a FIFO wait queue.
+
+    >>> sim = Simulator()
+    >>> server = Resource(sim, capacity=1)
+    >>> def client(sim, server, log, name):
+    ...     with server.request() as req:
+    ...         yield req
+    ...         yield sim.timeout(1.0)
+    ...         log.append((name, sim.now))
+    >>> log = []
+    >>> _ = sim.process(client(sim, server, log, "a"))
+    >>> _ = sim.process(client(sim, server, log, "b"))
+    >>> sim.run()
+    >>> log
+    [('a', 1.0), ('b', 2.0)]
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._users: List[Request] = []
+        self._queue: Deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._queue)
+
+    def request(self) -> Request:
+        """Ask for a slot; the returned event fires when the slot is held."""
+        req = Request(self)
+        if len(self._users) < self.capacity:
+            self._users.append(req)
+            req.succeed()
+        else:
+            self._queue.append(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        """Give back a slot (or cancel a queued request)."""
+        try:
+            self._users.remove(request)
+        except ValueError:
+            # Not a holder: cancel from the wait queue if still there.
+            try:
+                self._queue.remove(request)
+            except ValueError:
+                pass
+            return
+        self._grant_next()
+
+    def _grant_next(self) -> None:
+        while self._queue and len(self._users) < self.capacity:
+            nxt = self._queue.popleft()
+            self._users.append(nxt)
+            nxt.succeed()
+
+
+class _PriorityRequest(Request):
+    __slots__ = ("priority", "_seq")
+
+    def __init__(self, resource: "PriorityResource", priority: int,
+                 seq: int) -> None:
+        super().__init__(resource)
+        self.priority = priority
+        self._seq = seq
+
+    def __lt__(self, other: "_PriorityRequest") -> bool:
+        return (self.priority, self._seq) < (other.priority, other._seq)
+
+
+class PriorityResource(Resource):
+    """A :class:`Resource` whose wait queue is ordered by priority.
+
+    Lower ``priority`` values are served first; ties are FIFO.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1) -> None:
+        super().__init__(sim, capacity)
+        self._pqueue: List[_PriorityRequest] = []
+        self._seq = 0
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._pqueue)
+
+    def request(self, priority: int = 0) -> _PriorityRequest:  # type: ignore[override]
+        self._seq += 1
+        req = _PriorityRequest(self, priority, self._seq)
+        if len(self._users) < self.capacity:
+            self._users.append(req)
+            req.succeed()
+        else:
+            heapq.heappush(self._pqueue, req)
+        return req
+
+    def release(self, request: Request) -> None:
+        try:
+            self._users.remove(request)
+        except ValueError:
+            try:
+                self._pqueue.remove(request)  # type: ignore[arg-type]
+                heapq.heapify(self._pqueue)
+            except ValueError:
+                pass
+            return
+        self._grant_next()
+
+    def _grant_next(self) -> None:
+        while self._pqueue and len(self._users) < self.capacity:
+            nxt = heapq.heappop(self._pqueue)
+            self._users.append(nxt)
+            nxt.succeed()
+
+
+class Store:
+    """An unbounded (or bounded) FIFO store of Python objects.
+
+    ``put`` returns an event that fires once the item is stored; ``get``
+    returns an event that fires with the next item (waiting if empty).
+    Used for message queues (e.g. the Damaris event queue in the DES
+    back-end).
+    """
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise SimulationError(f"store capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[Event] = deque()  # events carrying a pending item
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> Event:
+        event = Event(self.sim)
+        event._value = item
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            self._putters.append(event)
+        else:
+            self._store(item)
+            event.succeed(item)
+        return event
+
+    def get(self) -> Event:
+        event = Event(self.sim)
+        if self._items:
+            event.succeed(self._items.popleft())
+            self._admit_putter()
+        else:
+            self._getters.append(event)
+        return event
+
+    def _store(self, item: Any) -> None:
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def _admit_putter(self) -> None:
+        if self._putters and (
+            self.capacity is None or len(self._items) < self.capacity
+        ):
+            pending = self._putters.popleft()
+            item = pending._value
+            self._store(item)
+            pending.succeed(item)

@@ -1,0 +1,431 @@
+"""Per-figure experiment drivers.
+
+Each function reproduces one table/figure of the paper's evaluation
+(Section IV) from the calibrated platform presets and returns a
+:class:`~repro.experiments.report.FigureReport`. The benches in
+``benchmarks/`` call these and print the rendered tables; EXPERIMENTS.md
+records paper-vs-measured.
+
+``REPRO_FAST=1`` in the environment trims the sweeps (smaller scales,
+fewer phases) for quick runs; the full sweeps match the paper.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.model import breakeven_io_fraction, dedication_benefit
+from repro.analysis.scalability import scalability_factor
+from repro.analysis.stats import jitter_stats
+from repro.apps.workload import CM1Workload
+from repro.core.server import DamarisOptions
+from repro.experiments.harness import ExperimentResult, run_experiment
+from repro.experiments.platforms import (
+    PlatformPreset,
+    blueprint_preset,
+    grid5000_preset,
+    kraken_preset,
+)
+from repro.experiments.report import FigureReport
+from repro.formats.compression import GZIP16_MODEL, GZIP_MODEL
+from repro.strategies import (
+    CollectiveIOStrategy,
+    DamarisStrategy,
+    FilePerProcessStrategy,
+    NoIOStrategy,
+)
+from repro.units import GB, MB, MiB
+
+__all__ = [
+    "fig2_write_phase_kraken",
+    "fig3_blueprint_volume",
+    "fig4_scalability_kraken",
+    "fig5_spare_time",
+    "fig6_throughput_kraken",
+    "table1_grid5000",
+    "fig7_spare_strategies",
+    "model_breakeven",
+    "fast_mode",
+    "kraken_scales",
+]
+
+
+def fast_mode() -> bool:
+    return os.environ.get("REPRO_FAST", "") not in ("", "0", "false")
+
+
+def kraken_scales() -> Tuple[int, ...]:
+    """Core counts for the Kraken sweeps (paper: 576 → 9216)."""
+    if fast_mode():
+        return (576, 1152)
+    return (576, 2304, 9216)
+
+
+def _phases() -> int:
+    return 1 if fast_mode() else 2
+
+
+def _collective_for(preset: PlatformPreset,
+                    stripe_size: Optional[int] = None
+                    ) -> CollectiveIOStrategy:
+    return CollectiveIOStrategy(
+        mode=preset.collective_mode,
+        stripe_count=preset.collective_stripe_count,
+        stripe_size=stripe_size)
+
+
+def _run(preset: PlatformPreset, ncores: int, strategy,
+         workload: Optional[CM1Workload] = None, seed: int = 42,
+         write_phases: Optional[int] = None, **kwargs) -> ExperimentResult:
+    machine, fs, default_workload = preset.build(ncores, seed=seed)
+    return run_experiment(
+        machine, fs, workload if workload is not None else default_workload,
+        strategy, write_phases=write_phases if write_phases is not None
+        else _phases(), **kwargs)
+
+
+# ---------------------------------------------------------------------- #
+# Fig. 2 — write-phase duration on Kraken
+# ---------------------------------------------------------------------- #
+def fig2_write_phase_kraken(scales: Optional[Sequence[int]] = None,
+                            seed: int = 42) -> FigureReport:
+    """Average and maximum duration of a write phase, seen by the
+    simulation, for the three approaches on Kraken."""
+    report = FigureReport(
+        figure="Figure 2",
+        title="Write-phase duration on Kraken (simulation's view)",
+        paper_claims=[
+            "Collective-I/O reaches ~481 s average / ~800 s max at 9216 "
+            "cores (~70 % of run time)",
+            "File-per-process is faster but unpredictable (spread ~±17 s)",
+            "Damaris cuts the write phase to ~0.2 s (±~0.1 s), "
+            "independent of scale",
+            "32 MB Lustre stripes double the collective write time",
+        ])
+    scales = tuple(scales) if scales is not None else kraken_scales()
+    preset = kraken_preset()
+    for ncores in scales:
+        for strategy_factory in (
+            lambda: FilePerProcessStrategy(),
+            lambda: _collective_for(preset),
+            lambda: DamarisStrategy(),
+        ):
+            strategy = strategy_factory()
+            result = _run(preset, ncores, strategy, seed=seed)
+            stats = jitter_stats([p.duration for p in result.phases])
+            report.rows.append({
+                "strategy": strategy.name,
+                "cores": ncores,
+                "avg_s": stats.mean,
+                "max_s": stats.maximum,
+                "spread_s": stats.spread,
+            })
+    # The stripe-size misconfiguration experiment, at the largest scale.
+    big = scales[-1]
+    oversized = _run(preset, big, _collective_for(preset,
+                                                  stripe_size=32 * MiB),
+                     seed=seed, write_phases=1)
+    report.rows.append({
+        "strategy": "collective-io (32MB stripes)",
+        "cores": big,
+        "avg_s": oversized.avg_write_phase,
+        "max_s": oversized.max_write_phase,
+        "spread_s": 0.0,
+    })
+    return report
+
+
+# ---------------------------------------------------------------------- #
+# Fig. 3 — write-phase duration vs data volume on BluePrint
+# ---------------------------------------------------------------------- #
+def fig3_blueprint_volume(ncores: int = 1024,
+                          variable_counts: Optional[Sequence[int]] = None,
+                          seed: int = 42) -> FigureReport:
+    """FPP vs Damaris on BluePrint (1024 cores) as the per-phase output
+    volume grows (variables enabled/disabled; gzip enabled for FPP)."""
+    report = FigureReport(
+        figure="Figure 3",
+        title="Write-phase duration vs data volume on BluePrint "
+              "(1024 cores, GPFS)",
+        paper_claims=[
+            "File-per-process variability grows with the output volume",
+            "Damaris stays at ~0.2 s (±0.1 s) for the largest volume",
+        ])
+    if variable_counts is None:
+        variable_counts = (2, 4, 6) if not fast_mode() else (2, 6)
+    if fast_mode():
+        ncores = min(ncores, 256)
+    preset = blueprint_preset()
+    for nvars in variable_counts:
+        workload = CM1Workload.blueprint(nvariables=nvars)
+        volume = workload.total_bytes(
+            ncores - ncores // preset.cores_per_node)
+        fpp = _run(preset, ncores, FilePerProcessStrategy(compress=True),
+                   workload=workload, seed=seed, compression=GZIP_MODEL)
+        damaris = _run(preset, ncores, DamarisStrategy(
+            compress_on_server=True,
+            options=DamarisOptions(compression=GZIP_MODEL)),
+            workload=workload, seed=seed)
+        for label, result in (("file-per-process", fpp),
+                              ("damaris", damaris)):
+            stats = jitter_stats([p.duration for p in result.phases])
+            report.rows.append({
+                "strategy": label,
+                "volume_GB": volume / GB,
+                "avg_s": stats.mean,
+                "max_s": stats.maximum,
+                "min_s": stats.minimum,
+            })
+    return report
+
+
+# ---------------------------------------------------------------------- #
+# Fig. 4 — scalability factor and run time on Kraken
+# ---------------------------------------------------------------------- #
+def fig4_scalability_kraken(scales: Optional[Sequence[int]] = None,
+                            seed: int = 42) -> FigureReport:
+    """S = N·C576/T_N and the run time of 50 iterations + 1 write phase."""
+    report = FigureReport(
+        figure="Figure 4",
+        title="Scalability factor (a) and run time (b) on Kraken, "
+              "50 iterations + 1 write phase",
+        paper_claims=[
+            "Damaris scales nearly perfectly where the others fail",
+            "At 9216 cores: execution time cut by ~35 % vs "
+            "file-per-process, divided by ~3.5 vs collective-I/O",
+        ])
+    scales = tuple(scales) if scales is not None else kraken_scales()
+    preset = kraken_preset()
+    baseline_cores = scales[0]
+    baseline = _run(preset, baseline_cores, NoIOStrategy(), seed=seed,
+                    write_phases=1)
+    c_base = baseline.run_time
+    report.add_note(
+        f"baseline C{baseline_cores} (no I/O, no dedicated core): "
+        f"{c_base:.1f} s")
+    for ncores in scales:
+        for strategy_factory in (
+            lambda: FilePerProcessStrategy(),
+            lambda: _collective_for(preset),
+            lambda: DamarisStrategy(),
+        ):
+            strategy = strategy_factory()
+            result = _run(preset, ncores, strategy, seed=seed,
+                          write_phases=1)
+            factor = scalability_factor(ncores, c_base, result.run_time)
+            report.rows.append({
+                "strategy": strategy.name,
+                "cores": ncores,
+                "run_time_s": result.run_time,
+                "scalability": factor,
+                "perfect": float(ncores),
+            })
+    return report
+
+
+# ---------------------------------------------------------------------- #
+# Fig. 5 — dedicated-core write time vs spare time
+# ---------------------------------------------------------------------- #
+def fig5_spare_time(scales: Optional[Sequence[int]] = None,
+                    variable_counts: Optional[Sequence[int]] = None,
+                    seed: int = 42) -> FigureReport:
+    """(a) Kraken: dedicated-core write time per iteration vs scale;
+    (b) BluePrint: vs output volume."""
+    report = FigureReport(
+        figure="Figure 5",
+        title="Dedicated-core write time and spare time per iteration",
+        paper_claims=[
+            "Write time grows with scale on Kraken (file-system "
+            "contention) but dedicated cores stay 75-99 % idle",
+            "On BluePrint write time grows with the output volume",
+        ])
+    preset = kraken_preset()
+    scales = tuple(scales) if scales is not None else kraken_scales()
+    for ncores in scales:
+        result = _run(preset, ncores, DamarisStrategy(), seed=seed)
+        write = float(np.mean(result.dedicated_write_times)) \
+            if result.dedicated_write_times else 0.0
+        report.rows.append({
+            "platform": "kraken",
+            "cores": ncores,
+            "volume_GB": result.bytes_per_phase / GB,
+            "write_s": write,
+            "spare_fraction": result.spare_fraction,
+        })
+    if variable_counts is None:
+        variable_counts = (2, 4, 6) if not fast_mode() else (2, 6)
+    bp = blueprint_preset()
+    bp_cores = 256 if fast_mode() else 1024
+    for nvars in variable_counts:
+        workload = CM1Workload.blueprint(nvariables=nvars)
+        result = _run(bp, bp_cores, DamarisStrategy(), workload=workload,
+                      seed=seed)
+        write = float(np.mean(result.dedicated_write_times)) \
+            if result.dedicated_write_times else 0.0
+        report.rows.append({
+            "platform": "blueprint",
+            "cores": bp_cores,
+            "volume_GB": result.bytes_per_phase / GB,
+            "write_s": write,
+            "spare_fraction": result.spare_fraction,
+        })
+    return report
+
+
+# ---------------------------------------------------------------------- #
+# Fig. 6 — aggregate throughput on Kraken
+# ---------------------------------------------------------------------- #
+def fig6_throughput_kraken(scales: Optional[Sequence[int]] = None,
+                           seed: int = 42) -> FigureReport:
+    report = FigureReport(
+        figure="Figure 6",
+        title="Average aggregate throughput on Kraken",
+        paper_claims=[
+            "Damaris ~6x over file-per-process and ~15x over "
+            "collective-I/O at 9216 cores",
+        ])
+    scales = tuple(scales) if scales is not None else kraken_scales()
+    preset = kraken_preset()
+    for ncores in scales:
+        throughputs = {}
+        for strategy_factory in (
+            lambda: FilePerProcessStrategy(),
+            lambda: _collective_for(preset),
+            lambda: DamarisStrategy(),
+        ):
+            strategy = strategy_factory()
+            result = _run(preset, ncores, strategy, seed=seed)
+            throughputs[strategy.name] = result.aggregate_throughput
+            report.rows.append({
+                "strategy": strategy.name,
+                "cores": ncores,
+                "throughput_GB_s": result.aggregate_throughput / GB,
+            })
+        damaris = throughputs.get("damaris", 0.0)
+        fpp = throughputs.get("file-per-process", 1.0)
+        coll = throughputs.get("collective-io", 1.0)
+        report.add_note(
+            f"{ncores} cores: damaris/fpp = {damaris / fpp:.1f}x, "
+            f"damaris/collective = {damaris / coll:.1f}x")
+    return report
+
+
+# ---------------------------------------------------------------------- #
+# Table I — aggregate throughput on Grid'5000 (672 cores)
+# ---------------------------------------------------------------------- #
+def table1_grid5000(ncores: int = 672, seed: int = 42) -> FigureReport:
+    report = FigureReport(
+        figure="Table I",
+        title="Average aggregate throughput on Grid'5000 (CM1, 672 cores)",
+        paper_claims=[
+            "File-per-process 695 MB/s, Collective-I/O 636 MB/s, "
+            "Damaris 4.32 GB/s (>6x)",
+            "FPP: ~4.22 % of run time in I/O; fastest processes <1 s, "
+            "slowest >25 s",
+        ])
+    if fast_mode():
+        ncores = 240
+    preset = grid5000_preset()
+    for strategy_factory in (
+        lambda: FilePerProcessStrategy(),
+        lambda: _collective_for(preset),
+        lambda: DamarisStrategy(),
+    ):
+        strategy = strategy_factory()
+        result = _run(preset, ncores, strategy, seed=seed)
+        report.rows.append({
+            "strategy": strategy.name,
+            "cores": ncores,
+            "throughput_MB_s": result.aggregate_throughput / MB,
+            "write_phase_s": result.avg_write_phase,
+        })
+        if strategy.name == "file-per-process":
+            ranks = np.concatenate([p.rank_times for p in result.phases])
+            report.add_note(
+                f"FPP: I/O fraction {100 * result.io_fraction:.2f} %, "
+                f"fastest rank {ranks.min():.2f} s, slowest rank "
+                f"{ranks.max():.2f} s")
+    return report
+
+
+# ---------------------------------------------------------------------- #
+# Fig. 7 — leveraging spare time: compression + transfer scheduling
+# ---------------------------------------------------------------------- #
+def fig7_spare_strategies(kraken_cores: int = 2304,
+                          grid5000_cores: int = 912,
+                          seed: int = 42) -> FigureReport:
+    report = FigureReport(
+        figure="Figure 7",
+        title="Dedicated-core write time with compression and transfer "
+              "scheduling",
+        paper_claims=[
+            "Scheduling lowers the dedicated-core write time on both "
+            "platforms (13.1 GB/s vs 9.7 GB/s at 2304 cores on Kraken)",
+            "Compression adds dedicated-core overhead on Kraken "
+            "(storage-vs-spare-time tradeoff)",
+        ],
+        notes=[
+            "In the model the compression tradeoff appears on whichever "
+            "platform is CPU-bound relative to its file system (here "
+            "Grid'5000); on the contention-bound platform the smaller "
+            "output can even win. Same tradeoff, platform-dependent sign.",
+        ])
+    if fast_mode():
+        kraken_cores, grid5000_cores = 576, 240
+    configs = [
+        ("plain", dict()),
+        ("scheduler", dict(options=DamarisOptions(use_scheduler=True))),
+        ("gzip", dict(compress_on_server=True,
+                      options=DamarisOptions(compression=GZIP_MODEL))),
+        ("gzip+sched", dict(compress_on_server=True,
+                            options=DamarisOptions(
+                                compression=GZIP_MODEL,
+                                use_scheduler=True))),
+    ]
+    for platform, preset, ncores in (
+        ("kraken", kraken_preset(), kraken_cores),
+        ("grid5000", grid5000_preset(), grid5000_cores),
+    ):
+        for label, kwargs in configs:
+            result = _run(preset, ncores, DamarisStrategy(**kwargs),
+                          seed=seed,
+                          write_phases=max(2, _phases()))
+            write = float(np.mean(result.dedicated_write_times)) \
+                if result.dedicated_write_times else 0.0
+            report.rows.append({
+                "platform": platform,
+                "cores": ncores,
+                "variant": label,
+                "write_s": write,
+                "throughput_GB_s": result.aggregate_throughput / GB,
+            })
+    return report
+
+
+# ---------------------------------------------------------------------- #
+# Section V-A — the breakeven model
+# ---------------------------------------------------------------------- #
+def model_breakeven(core_counts: Sequence[int] = (4, 8, 12, 16, 24, 32, 48),
+                    io_percent: float = 5.0) -> FigureReport:
+    report = FigureReport(
+        figure="Section V-A",
+        title="When does dedicating one core pay off? "
+              "(breakeven I/O fraction p = 100/(N-1))",
+        paper_claims=[
+            "p = 4.35 % for N = 24 — below the commonly-admitted 5 % "
+            "I/O budget",
+        ])
+    for n in core_counts:
+        breakeven = breakeven_io_fraction(n)
+        benefit = dedication_benefit(n, compute_seconds=100.0,
+                                     write_seconds=io_percent)
+        report.rows.append({
+            "cores_per_node": n,
+            "breakeven_percent": breakeven,
+            "pays_off_at_5pct": benefit.pays_off,
+            "predicted_speedup": benefit.speedup,
+        })
+    return report

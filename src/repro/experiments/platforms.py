@@ -1,0 +1,234 @@
+"""Calibrated platform presets for the paper's three testbeds.
+
+Each preset builds a :class:`~repro.cluster.machine.Machine` plus the
+matching file system and returns the workload tuned to the paper's
+weak-scaling configuration. The absolute bandwidth constants are
+calibrated against the paper's anchors (Table I throughputs, the 0.2 s
+Damaris write phase, the ~481 s collective phase at 9216 cores); every
+figure is then *generated from the same presets* — no per-figure tuning.
+
+Calibration anchors (see EXPERIMENTS.md for measured-vs-paper):
+
+- Kraken: Cray XT5, 12-core nodes, Lustre with one MDS and 336 OSTs,
+  1 MB stripes, stripe count 4 for per-process files; the shared
+  collective file gets 16 stripes (large-file setting);
+- Grid'5000 (parapluie/parapide): 24-core nodes, PVFS over 15 combined
+  data+metadata servers, RAM-buffered (network-bound) targets;
+- BluePrint: Power5, 16-core nodes, GPFS on 2 NSD servers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple
+
+from repro.apps.workload import CM1Workload
+from repro.cluster.machine import Machine, MachineSpec
+from repro.cluster.noise import CrossApplicationInterference, OSNoise
+from repro.errors import ReproError
+from repro.storage.disk import TargetSpec
+from repro.storage.filesystem import ParallelFileSystem
+from repro.storage.gpfs import GPFS
+from repro.storage.lustre import Lustre
+from repro.storage.metadata import MetadataSpec
+from repro.storage.pvfs import PVFS
+from repro.units import GiB, KiB, MB, MiB
+
+__all__ = ["PlatformPreset", "kraken_preset", "grid5000_preset",
+           "blueprint_preset"]
+
+
+@dataclass
+class PlatformPreset:
+    """A buildable platform: machine spec factory + file system factory."""
+
+    name: str
+    cores_per_node: int
+    machine_factory: Callable[[int, int], Machine]
+    fs_factory: Callable[[Machine], ParallelFileSystem]
+    workload_factory: Callable[[], CM1Workload]
+    #: Mean cross-application load on the storage targets (0 disables).
+    interference_load: float = 0.0
+    interference_period: float = 20.0
+    #: Collective-I/O mode that ROMIO would pick on this file system.
+    collective_mode: str = "two-phase"
+    #: Stripe count used for the shared collective file (None = default).
+    collective_stripe_count: Optional[int] = None
+
+    def build(self, ncores: int, seed: int = 0
+              ) -> Tuple[Machine, ParallelFileSystem, CM1Workload]:
+        """Instantiate the platform for a job of ``ncores`` cores."""
+        if ncores % self.cores_per_node:
+            raise ReproError(
+                f"{self.name}: core count {ncores} is not a multiple of "
+                f"{self.cores_per_node}-core nodes")
+        machine = self.machine_factory(ncores, seed)
+        fs = self.fs_factory(machine)
+        if self.interference_load > 0:
+            interference = CrossApplicationInterference(
+                fs.targets, period=self.interference_period,
+                mean_load=self.interference_load,
+                volatility=self.interference_load / 2.5)
+            interference.start(machine.sim, machine.streams)
+        return machine, fs, self.workload_factory()
+
+
+# ---------------------------------------------------------------------- #
+# Kraken (Cray XT5 + Lustre)
+# ---------------------------------------------------------------------- #
+def _kraken_machine(ncores: int, seed: int) -> Machine:
+    spec = MachineSpec(
+        name="kraken",
+        nodes=ncores // 12,
+        cores_per_node=12,
+        # Effective shared-memory copy bandwidth under full-node
+        # contention (calibrated so that 11 concurrent ~9 MB copies take
+        # ~0.2 s, the paper's Damaris write-phase time).
+        mem_bandwidth=0.55 * GiB,
+        # SeaStar2+ effective per-node injection bandwidth.
+        nic_bandwidth=1.6 * GiB,
+        memory_per_node=16 * GiB,
+    )
+    return Machine(spec, seed=seed, noise=OSNoise(sigma=0.003))
+
+
+def _kraken_fs(machine: Machine) -> Lustre:
+    return Lustre(
+        machine,
+        ntargets=336,
+        target_spec=TargetSpec(
+            # Aggregate ceiling ~15 GB/s; per-OST efficiency collapses
+            # quickly with distinct concurrent objects (disk-backed OSTs)
+            # and gently with stream count — constants fitted to the
+            # paper's anchors: Damaris ~9.7 GB/s @2304 / ~3.7 GB/s @9216,
+            # FPP ~0.6 GB/s @9216, collective ~0.24 GB/s @9216.
+            peak_bandwidth=45e6,
+            stream_peak=40e6,
+            object_half=3.2, object_exp=0.8,
+            stream_half=450.0, stream_exp=1.0,
+            min_efficiency=0.015,
+            request_overhead_bytes=256 * KiB,
+            straggler_sigma=0.16,
+            request_latency=2e-3,
+        ),
+        metadata_spec=MetadataSpec(create=1.5e-3, open=0.4e-3,
+                                   close=0.3e-3, sigma=0.3, concurrency=4),
+        default_stripe_size=1 * MiB,
+        default_stripe_count=4,
+    )
+
+
+def kraken_preset() -> PlatformPreset:
+    return PlatformPreset(
+        name="kraken",
+        cores_per_node=12,
+        machine_factory=_kraken_machine,
+        fs_factory=_kraken_fs,
+        workload_factory=CM1Workload.kraken,
+        interference_load=0.15,
+        interference_period=30.0,
+        collective_mode="two-phase",
+        collective_stripe_count=16,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Grid'5000 (parapluie + PVFS on 15 parapide servers)
+# ---------------------------------------------------------------------- #
+def _grid5000_machine(ncores: int, seed: int) -> Machine:
+    spec = MachineSpec(
+        name="grid5000",
+        nodes=ncores // 24,
+        cores_per_node=24,
+        # 24-core AMD nodes: effective concurrent-copy bandwidth.
+        mem_bandwidth=1.4 * GiB,
+        # 20G InfiniBand 4x QDR.
+        nic_bandwidth=2.2 * GiB,
+        memory_per_node=48 * GiB,
+    )
+    return Machine(spec, seed=seed, noise=OSNoise(sigma=0.003))
+
+
+def _grid5000_fs(machine: Machine) -> PVFS:
+    return PVFS(
+        machine,
+        ntargets=15,
+        target_spec=TargetSpec(
+            # RAM-buffered servers: network-bound, ~310 MB/s each
+            # (15 x 310 MB/s = 4.65 GB/s ceiling; Damaris measures 4.32).
+            peak_bandwidth=310e6,
+            stream_peak=300e6,
+            # Network-bound servers: per-connection overhead dominates, so
+            # STREAM concurrency is the active penalty here.
+            object_half=1e9, object_exp=1.0,
+            stream_half=118.0, stream_exp=1.35,
+            min_efficiency=0.02,
+            request_overhead_bytes=256 * KiB,
+            straggler_sigma=0.2,
+            request_latency=1.5e-3,
+        ),
+        metadata_spec=MetadataSpec(create=1.0e-3, open=0.3e-3,
+                                   close=0.2e-3, sigma=0.25, concurrency=2),
+        default_stripe_size=64 * KiB,
+    )
+
+
+def grid5000_preset() -> PlatformPreset:
+    return PlatformPreset(
+        name="grid5000",
+        cores_per_node=24,
+        machine_factory=_grid5000_machine,
+        fs_factory=_grid5000_fs,
+        workload_factory=CM1Workload.grid5000,
+        interference_load=0.05,  # dedicated testbed: little cross-traffic
+        interference_period=15.0,
+        collective_mode="direct",  # ROMIO on PVFS: no collective buffering
+    )
+
+
+# ---------------------------------------------------------------------- #
+# BluePrint (Power5 + GPFS on 2 NSD servers)
+# ---------------------------------------------------------------------- #
+def _blueprint_machine(ncores: int, seed: int) -> Machine:
+    spec = MachineSpec(
+        name="blueprint",
+        nodes=ncores // 16,
+        cores_per_node=16,
+        mem_bandwidth=1.0 * GiB,
+        nic_bandwidth=1.0 * GiB,
+        memory_per_node=64 * GiB,
+    )
+    return Machine(spec, seed=seed, noise=OSNoise(sigma=0.003))
+
+
+def _blueprint_fs(machine: Machine) -> GPFS:
+    return GPFS(
+        machine,
+        ntargets=2,
+        target_spec=TargetSpec(
+            peak_bandwidth=400e6,
+            stream_peak=250e6,
+            object_half=48.0, object_exp=1.0,
+            stream_half=2000.0, stream_exp=1.0,
+            min_efficiency=0.03,
+            request_overhead_bytes=256 * KiB,
+            straggler_sigma=0.3,
+            request_latency=2e-3,
+        ),
+        metadata_spec=MetadataSpec(create=1.2e-3, open=0.4e-3,
+                                   close=0.3e-3, sigma=0.3, concurrency=2),
+        default_stripe_size=4 * MiB,
+    )
+
+
+def blueprint_preset() -> PlatformPreset:
+    return PlatformPreset(
+        name="blueprint",
+        cores_per_node=16,
+        machine_factory=_blueprint_machine,
+        fs_factory=_blueprint_fs,
+        workload_factory=CM1Workload.blueprint,
+        interference_load=0.15,
+        interference_period=25.0,
+        collective_mode="two-phase",
+    )

@@ -1,0 +1,71 @@
+"""Rendering experiment results as aligned text tables.
+
+Every figure driver returns a :class:`FigureReport` (rows of dicts plus
+the paper's reference values); ``render()`` produces the text that the
+benches print and that EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["FigureReport", "render_table"]
+
+
+def _format(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(rows: Sequence[Dict[str, Any]],
+                 columns: Optional[Sequence[str]] = None) -> str:
+    """Align rows of dicts into a text table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    table = [[_format(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(str(col)), *(len(line[i]) for line in table))
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(str(col).ljust(w) for col, w in zip(columns, widths))
+    rule = "  ".join("-" * w for w in widths)
+    body = "\n".join(
+        "  ".join(cell.rjust(w) for cell, w in zip(line, widths))
+        for line in table
+    )
+    return f"{header}\n{rule}\n{body}"
+
+
+@dataclass
+class FigureReport:
+    """One reproduced table/figure: measured rows + paper reference."""
+
+    figure: str
+    title: str
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    paper_claims: List[str] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        parts = [f"== {self.figure}: {self.title} ==", ""]
+        parts.append(render_table(self.rows))
+        if self.paper_claims:
+            parts.append("")
+            parts.append("Paper reference:")
+            parts.extend(f"  - {claim}" for claim in self.paper_claims)
+        if self.notes:
+            parts.append("")
+            parts.append("Notes:")
+            parts.extend(f"  - {note}" for note in self.notes)
+        return "\n".join(parts)
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)

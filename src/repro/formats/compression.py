@@ -1,0 +1,182 @@
+"""Compression: real codecs plus DES cost models.
+
+The paper's Section IV-D measures a 187 % gzip ratio on CM1's 3-D arrays
+and ~600 % when the floating-point precision is first reduced to 16 bits.
+(The paper quotes ratios as ``original/compressed × 100 %``.) The real
+codecs here are used by the threaded runtime and by
+``benchmarks/bench_compression_ratio.py`` on real mini-CM1 fields; the
+:class:`CompressionModel` provides the corresponding *time* cost inside
+the DES.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import FormatError
+
+__all__ = [
+    "Codec",
+    "GzipCodec",
+    "Precision16Codec",
+    "compress_pipeline",
+    "decompress_pipeline",
+    "CompressionModel",
+]
+
+
+class Codec:
+    """Interface of a reversible byte/array transformation."""
+
+    #: Registry name stored in SHDF chunk headers.
+    name = "identity"
+
+    def encode(self, array: np.ndarray) -> Tuple[bytes, dict]:
+        """Return (payload, metadata needed by decode)."""
+        raise NotImplementedError
+
+    def decode(self, payload: bytes, meta: dict) -> np.ndarray:
+        raise NotImplementedError
+
+
+class GzipCodec(Codec):
+    """Lossless zlib/DEFLATE compression (what HDF5 calls the gzip filter)."""
+
+    name = "gzip"
+
+    def __init__(self, level: int = 4) -> None:
+        if not 1 <= level <= 9:
+            raise FormatError(f"gzip level must be in 1..9, got {level}")
+        self.level = level
+
+    def encode(self, array: np.ndarray) -> Tuple[bytes, dict]:
+        raw = np.ascontiguousarray(array)
+        payload = zlib.compress(raw.tobytes(), self.level)
+        return payload, {"dtype": str(raw.dtype), "shape": list(raw.shape)}
+
+    def decode(self, payload: bytes, meta: dict) -> np.ndarray:
+        raw = zlib.decompress(payload)
+        return np.frombuffer(raw, dtype=np.dtype(meta["dtype"])) \
+            .reshape(meta["shape"]).copy()
+
+
+class Precision16Codec(Codec):
+    """Lossy reduction of floating-point data to 16 bits.
+
+    "When writing data for offline visualization, the floating point
+    precision can also be reduced to 16 bits" (Section IV-D). Integer
+    arrays pass through unchanged.
+    """
+
+    name = "precision16"
+
+    def encode(self, array: np.ndarray) -> Tuple[bytes, dict]:
+        raw = np.ascontiguousarray(array)
+        meta = {"dtype": str(raw.dtype), "shape": list(raw.shape)}
+        if np.issubdtype(raw.dtype, np.floating):
+            reduced = raw.astype(np.float16)
+            meta["stored_dtype"] = "float16"
+            return reduced.tobytes(), meta
+        meta["stored_dtype"] = str(raw.dtype)
+        return raw.tobytes(), meta
+
+    def decode(self, payload: bytes, meta: dict) -> np.ndarray:
+        stored = np.frombuffer(payload, dtype=np.dtype(meta["stored_dtype"]))
+        return stored.astype(np.dtype(meta["dtype"])) \
+            .reshape(meta["shape"]).copy()
+
+
+_CODEC_TYPES = {cls.name: cls for cls in (GzipCodec, Precision16Codec)}
+
+
+def codec_by_name(name: str, **kwargs) -> Codec:
+    """Instantiate a codec from its registry name (SHDF reader path)."""
+    try:
+        return _CODEC_TYPES[name](**kwargs)
+    except KeyError:
+        raise FormatError(f"unknown codec {name!r}") from None
+
+
+def compress_pipeline(array: np.ndarray,
+                      codecs: Sequence[Codec]) -> Tuple[bytes, List[dict]]:
+    """Apply codecs in order; intermediate stages re-enter as raw arrays."""
+    if not codecs:
+        raw = np.ascontiguousarray(array)
+        return raw.tobytes(), [{"codec": "raw", "dtype": str(raw.dtype),
+                                "shape": list(raw.shape)}]
+    metas: List[dict] = []
+    current = np.ascontiguousarray(array)
+    payload = b""
+    for position, codec in enumerate(codecs):
+        payload, meta = codec.encode(current)
+        meta["codec"] = codec.name
+        metas.append(meta)
+        if position < len(codecs) - 1:
+            # Chain: the next codec sees the previous payload as bytes.
+            current = np.frombuffer(payload, dtype=np.uint8)
+    return payload, metas
+
+
+def decompress_pipeline(payload: bytes, metas: Sequence[dict]) -> np.ndarray:
+    """Invert :func:`compress_pipeline`."""
+    if len(metas) == 1 and metas[0].get("codec") == "raw":
+        meta = metas[0]
+        return np.frombuffer(payload, dtype=np.dtype(meta["dtype"])) \
+            .reshape(meta["shape"]).copy()
+    current = payload
+    result: np.ndarray | None = None
+    for meta in reversed(list(metas)):
+        codec = codec_by_name(meta["codec"])
+        result = codec.decode(current, meta)
+        current = result.tobytes()
+    assert result is not None
+    return result
+
+
+def compression_ratio_percent(original_bytes: int,
+                              compressed_bytes: int) -> float:
+    """The paper's ratio convention: original/compressed × 100 %."""
+    if compressed_bytes <= 0:
+        raise FormatError("compressed size must be positive")
+    return 100.0 * original_bytes / compressed_bytes
+
+
+@dataclass
+class CompressionModel:
+    """DES-side cost/ratio model of a compression pipeline.
+
+    ``bandwidth`` is the single-core compression speed in bytes/s;
+    ``ratio_percent`` is the paper-convention size ratio the pipeline
+    achieves on CM1-like data.
+    """
+
+    name: str = "gzip"
+    bandwidth: float = 120e6
+    ratio_percent: float = 187.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise FormatError("compression bandwidth must be > 0")
+        if self.ratio_percent < 100.0:
+            raise FormatError(
+                "ratio_percent uses the paper's original/compressed "
+                "convention; must be >= 100")
+
+    def cpu_seconds(self, nbytes: float) -> float:
+        """Single-core time to compress ``nbytes``."""
+        return nbytes / self.bandwidth
+
+    def output_bytes(self, nbytes: float) -> float:
+        """Compressed size of ``nbytes`` of input."""
+        return nbytes * 100.0 / self.ratio_percent
+
+
+#: Cost models matching the paper's two pipelines (Section IV-D).
+GZIP_MODEL = CompressionModel(name="gzip", bandwidth=120e6,
+                              ratio_percent=187.0)
+GZIP16_MODEL = CompressionModel(name="precision16+gzip", bandwidth=150e6,
+                                ratio_percent=600.0)

@@ -1,0 +1,106 @@
+"""Layouts: the static type/shape descriptors of Damaris variables.
+
+A layout corresponds to a ``<layout>`` element of the Damaris XML
+configuration::
+
+    <layout name="my_layout" type="real" dimensions="64,16,2"
+            language="fortran" />
+
+Layouts exist so that clients need not ship shape metadata through shared
+memory with every write (Section III-B of the paper): the server resolves
+the variable's layout from the configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import prod
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import FormatError
+
+__all__ = ["Layout", "TYPE_SIZES"]
+
+#: Damaris-style type names → (numpy dtype, size in bytes).
+TYPE_SIZES = {
+    "short": ("int16", 2),
+    "int": ("int32", 4),
+    "integer": ("int32", 4),
+    "long": ("int64", 8),
+    "float": ("float32", 4),
+    "real": ("float32", 4),
+    "double": ("float64", 8),
+    "char": ("int8", 1),
+    "character": ("int8", 1),
+}
+
+
+@dataclass(frozen=True)
+class Layout:
+    """A named, typed, fixed-shape array description."""
+
+    name: str
+    type: str
+    dimensions: Tuple[int, ...]
+    language: str = "c"
+
+    def __post_init__(self) -> None:
+        if self.type not in TYPE_SIZES:
+            raise FormatError(
+                f"unknown layout type {self.type!r}; expected one of "
+                f"{sorted(TYPE_SIZES)}")
+        if not self.dimensions:
+            raise FormatError(f"layout {self.name!r} has no dimensions")
+        if any(d < 1 for d in self.dimensions):
+            raise FormatError(
+                f"layout {self.name!r} has non-positive dimensions "
+                f"{self.dimensions}")
+        if self.language not in ("c", "fortran"):
+            raise FormatError(
+                f"layout {self.name!r}: language must be 'c' or 'fortran'")
+
+    @property
+    def dtype(self) -> np.dtype:
+        return np.dtype(TYPE_SIZES[self.type][0])
+
+    @property
+    def element_size(self) -> int:
+        return TYPE_SIZES[self.type][1]
+
+    @property
+    def element_count(self) -> int:
+        return prod(self.dimensions)
+
+    @property
+    def nbytes(self) -> int:
+        """Total size of one instance of this layout."""
+        return self.element_count * self.element_size
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Numpy shape honouring the language ordering (Fortran layouts are
+        declared fastest-dimension-first, as in the paper's example)."""
+        if self.language == "fortran":
+            return tuple(reversed(self.dimensions))
+        return self.dimensions
+
+    def matches(self, array: np.ndarray) -> bool:
+        """Whether a numpy array conforms to this layout."""
+        return (array.size == self.element_count
+                and array.dtype == self.dtype)
+
+    @classmethod
+    def parse(cls, name: str, type: str, dimensions: str,
+              language: str = "c") -> "Layout":
+        """Build from XML attribute strings (``dimensions="64,16,2"``)."""
+        try:
+            dims = tuple(int(part.strip())
+                         for part in dimensions.split(",") if part.strip())
+        except ValueError:
+            raise FormatError(
+                f"layout {name!r}: cannot parse dimensions {dimensions!r}"
+            ) from None
+        return cls(name=name, type=type.strip().lower(), dimensions=dims,
+                   language=language.strip().lower())

@@ -1,0 +1,245 @@
+"""SHDF — a simple hierarchical data format (the package's HDF5 stand-in).
+
+Real bytes on a real disk: the examples and the threaded Damaris runtime
+persist their variables through this module. Features mirror the subset of
+HDF5 the paper uses: groups, n-dimensional chunked datasets, per-chunk
+compression filters (gzip, 16-bit precision reduction), and attributes.
+
+On-disk layout::
+
+    +------------------+
+    | magic "SHDF\\x01" |
+    | chunk payloads    |  (appended in write order)
+    | JSON index        |
+    | index length (8B) |
+    | magic "SHDFEND!"  |
+    +------------------+
+
+The JSON index records every dataset's shape, dtype, chunk grid and the
+(offset, size, codec-metadata) of each chunk payload.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.formats.compression import (
+    Codec,
+    compress_pipeline,
+    decompress_pipeline,
+)
+
+__all__ = ["SHDFWriter", "SHDFReader"]
+
+_MAGIC = b"SHDF\x01\n"
+_END = b"SHDFEND!"
+
+
+def _normalise(path: str) -> str:
+    parts = [part for part in path.split("/") if part]
+    if not parts:
+        raise FormatError("empty dataset/group name")
+    return "/".join(parts)
+
+
+def _chunk_grid(shape: Sequence[int],
+                chunk_shape: Sequence[int]) -> Iterable[Tuple[int, ...]]:
+    counts = [(dim + ck - 1) // ck for dim, ck in zip(shape, chunk_shape)]
+    return itertools.product(*(range(c) for c in counts))
+
+
+def _chunk_slices(index: Tuple[int, ...], shape: Sequence[int],
+                  chunk_shape: Sequence[int]) -> Tuple[slice, ...]:
+    return tuple(
+        slice(i * ck, min((i + 1) * ck, dim))
+        for i, dim, ck in zip(index, shape, chunk_shape)
+    )
+
+
+class SHDFWriter:
+    """Create an SHDF container and append datasets to it."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._fh = open(path, "wb")
+        self._fh.write(_MAGIC)
+        self._index: Dict[str, Any] = {"groups": [], "datasets": {},
+                                       "attrs": {}}
+        self._closed = False
+        self.bytes_payload = 0
+
+    # ------------------------------------------------------------------ #
+    def create_group(self, name: str) -> None:
+        """Register a group (and its ancestors)."""
+        self._check_open()
+        name = _normalise(name)
+        parts = name.split("/")
+        for depth in range(1, len(parts) + 1):
+            group = "/".join(parts[:depth])
+            if group not in self._index["groups"]:
+                self._index["groups"].append(group)
+
+    def set_attr(self, key: str, value: Any, dataset: Optional[str] = None) -> None:
+        """Attach a JSON-serialisable attribute to the file or a dataset."""
+        self._check_open()
+        if dataset is None:
+            self._index["attrs"][key] = value
+            return
+        dataset = _normalise(dataset)
+        try:
+            self._index["datasets"][dataset]["attrs"][key] = value
+        except KeyError:
+            raise FormatError(f"no dataset {dataset!r}") from None
+
+    def write_dataset(self, name: str, array: np.ndarray,
+                      chunk_shape: Optional[Sequence[int]] = None,
+                      codecs: Sequence[Codec] = (),
+                      attrs: Optional[Dict[str, Any]] = None) -> int:
+        """Append a dataset; returns the stored payload size in bytes."""
+        self._check_open()
+        name = _normalise(name)
+        if name in self._index["datasets"]:
+            raise FormatError(f"dataset {name!r} already exists")
+        array = np.asarray(array)
+        if array.ndim == 0:
+            array = array.reshape(1)
+        if "/" in name:
+            self.create_group(name.rsplit("/", 1)[0])
+        if chunk_shape is None:
+            chunk_shape = array.shape
+        if len(chunk_shape) != array.ndim:
+            raise FormatError(
+                f"chunk shape {chunk_shape} does not match rank "
+                f"{array.ndim}")
+        if any(c < 1 for c in chunk_shape):
+            raise FormatError(f"invalid chunk shape {chunk_shape}")
+
+        records: List[Dict[str, Any]] = []
+        stored = 0
+        for chunk_index in _chunk_grid(array.shape, chunk_shape):
+            region = array[_chunk_slices(chunk_index, array.shape,
+                                         chunk_shape)]
+            payload, metas = compress_pipeline(region, list(codecs))
+            offset = self._fh.tell()
+            self._fh.write(payload)
+            stored += len(payload)
+            records.append({
+                "index": list(chunk_index),
+                "offset": offset,
+                "size": len(payload),
+                "metas": metas,
+            })
+        self.bytes_payload += stored
+        self._index["datasets"][name] = {
+            "shape": list(array.shape),
+            "dtype": str(array.dtype),
+            "chunk_shape": list(chunk_shape),
+            "chunks": records,
+            "stored_bytes": stored,
+            "raw_bytes": int(array.nbytes),
+            "attrs": dict(attrs or {}),
+        }
+        return stored
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        blob = json.dumps(self._index).encode("utf-8")
+        self._fh.write(blob)
+        self._fh.write(len(blob).to_bytes(8, "little"))
+        self._fh.write(_END)
+        self._fh.close()
+        self._closed = True
+
+    def __enter__(self) -> "SHDFWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise FormatError(f"writer for {self.path!r} is closed")
+
+
+class SHDFReader:
+    """Open an SHDF container and read datasets back."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fh = open(path, "rb")
+        magic = self._fh.read(len(_MAGIC))
+        if magic != _MAGIC:
+            raise FormatError(f"{path!r} is not an SHDF file")
+        self._fh.seek(-len(_END) - 8, os.SEEK_END)
+        length = int.from_bytes(self._fh.read(8), "little")
+        if self._fh.read(len(_END)) != _END:
+            raise FormatError(f"{path!r} is truncated (bad end marker)")
+        self._fh.seek(-len(_END) - 8 - length, os.SEEK_END)
+        try:
+            self._index = json.loads(self._fh.read(length).decode("utf-8"))
+        except json.JSONDecodeError as exc:
+            raise FormatError(f"{path!r} has a corrupt index") from exc
+
+    # ------------------------------------------------------------------ #
+    @property
+    def groups(self) -> List[str]:
+        return list(self._index["groups"])
+
+    @property
+    def datasets(self) -> List[str]:
+        return sorted(self._index["datasets"])
+
+    @property
+    def attrs(self) -> Dict[str, Any]:
+        return dict(self._index["attrs"])
+
+    def dataset_info(self, name: str) -> Dict[str, Any]:
+        try:
+            return dict(self._index["datasets"][_normalise(name)])
+        except KeyError:
+            raise FormatError(f"no dataset {name!r} in {self.path!r}") from None
+
+    def dataset_attrs(self, name: str) -> Dict[str, Any]:
+        return dict(self.dataset_info(name)["attrs"])
+
+    def read_dataset(self, name: str) -> np.ndarray:
+        info = self.dataset_info(name)
+        shape = tuple(info["shape"])
+        dtype = np.dtype(info["dtype"])
+        chunk_shape = tuple(info["chunk_shape"])
+        out = np.empty(shape, dtype=dtype)
+        for record in info["chunks"]:
+            self._fh.seek(record["offset"])
+            payload = self._fh.read(record["size"])
+            if len(payload) != record["size"]:
+                raise FormatError(
+                    f"short read of chunk {record['index']} in {name!r}")
+            region = decompress_pipeline(payload, record["metas"])
+            slices = _chunk_slices(tuple(record["index"]), shape, chunk_shape)
+            out[slices] = region.astype(dtype, copy=False)
+        return out
+
+    def stored_bytes(self, name: str) -> int:
+        return int(self.dataset_info(name)["stored_bytes"])
+
+    def raw_bytes(self, name: str) -> int:
+        return int(self.dataset_info(name)["raw_bytes"])
+
+    def close(self) -> None:
+        self._fh.close()
+
+    def __enter__(self) -> "SHDFReader":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,15 @@
+"""MPI-like runtime on top of the DES.
+
+:class:`~repro.mpi.comm.Communicator` binds ranks to cluster cores and
+provides point-to-point messaging, barriers and collective operations with
+realistic cost models (NIC + fabric contention through the flow network,
+log-depth latency for rendezvous). :mod:`repro.mpi.mpiio` implements
+independent and ROMIO-style two-phase collective file writes on top of the
+:mod:`repro.storage` file systems.
+"""
+
+from repro.mpi.comm import Communicator
+from repro.mpi.mpiio import CollectiveFile, collective_open, collective_write
+
+__all__ = ["CollectiveFile", "Communicator", "collective_open",
+           "collective_write"]

@@ -1,0 +1,144 @@
+"""Client handles of the threaded runtime — the paper's API, for real data.
+
+``df_write`` copies a numpy array into the node's shared buffer (one
+memcpy) and notifies the server; ``dc_alloc`` returns a live numpy view
+the simulation computes into, and ``dc_commit`` publishes it with no copy
+at all; ``df_signal`` fires configured actions; ``df_finalize`` releases
+the client.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.core.config import DamarisConfig
+from repro.core.equeue import Shutdown, UserEvent, WriteNotification
+from repro.core.shm import Block
+from repro.errors import ReproError, ShmAllocationError
+from repro.runtime.events import RuntimeQueue
+from repro.runtime.shmem import RuntimeBuffer
+
+__all__ = ["RuntimeClient"]
+
+
+class RuntimeClient:
+    """One simulation core's handle to its node's Damaris server."""
+
+    def __init__(self, config: DamarisConfig, buffer: RuntimeBuffer,
+                 queue: RuntimeQueue, rank: int, local_id: int) -> None:
+        self.config = config
+        self.buffer = buffer
+        self.queue = queue
+        self.rank = rank
+        self.local_id = local_id
+        self.writes = 0
+        self.bytes_written = 0
+        #: Wall-clock seconds spent inside df_write/dc_commit calls — the
+        #: application-visible I/O cost (compare with the server's
+        #: write_seconds to see the overlap).
+        self.write_call_seconds = 0.0
+        self._pending: Dict[Tuple[str, int], Block] = {}
+        self._finalized = False
+
+    # ------------------------------------------------------------------ #
+    def df_write(self, name: str, iteration: int,
+                 array: np.ndarray) -> None:
+        """Copy one variable into shared memory and notify the server."""
+        self._check_live()
+        layout = self.config.layout_of(name)
+        array = np.asarray(array)
+        if not layout.matches(array):
+            raise ReproError(
+                f"array (shape {array.shape}, dtype {array.dtype}) does "
+                f"not match layout {layout.name!r} of variable {name!r}")
+        started = time.perf_counter()
+        block = self.buffer.allocate(layout.nbytes, client=self.local_id)
+        self.buffer.write_array(block, array)
+        self.queue.put(WriteNotification(
+            variable=name, iteration=iteration, source=self.rank,
+            block=block, client=self.local_id))
+        self.write_call_seconds += time.perf_counter() - started
+        self.writes += 1
+        self.bytes_written += layout.nbytes
+
+    def df_write_dynamic(self, name: str, iteration: int,
+                         array: np.ndarray) -> None:
+        """Write a variable whose actual extent differs from its layout —
+        Section III-D's "arrays that don't have a static shape" (particle
+        populations). The layout declares the element type and the
+        maximum size; only the array's real bytes are reserved/copied."""
+        self._check_live()
+        layout = self.config.layout_of(name)
+        array = np.ascontiguousarray(array)
+        if array.dtype != layout.dtype:
+            raise ReproError(
+                f"dynamic write of {name!r}: dtype {array.dtype} does not "
+                f"match layout {layout.name!r} ({layout.dtype})")
+        if array.nbytes > layout.nbytes:
+            raise ReproError(
+                f"dynamic write of {name!r}: {array.nbytes} B exceeds the "
+                f"layout's maximum of {layout.nbytes} B")
+        started = time.perf_counter()
+        block = self.buffer.allocate(array.nbytes, client=self.local_id)
+        self.buffer.write_array(block, array)
+        self.queue.put(WriteNotification(
+            variable=name, iteration=iteration, source=self.rank,
+            block=block, client=self.local_id, shape=array.shape))
+        self.write_call_seconds += time.perf_counter() - started
+        self.writes += 1
+        self.bytes_written += array.nbytes
+
+    def dc_alloc(self, name: str, iteration: int) -> np.ndarray:
+        """Reserve the variable's space and return a live view into it."""
+        self._check_live()
+        key = (name, iteration)
+        if key in self._pending:
+            raise ShmAllocationError(
+                f"variable {name!r} already allocated for iteration "
+                f"{iteration}")
+        layout = self.config.layout_of(name)
+        block = self.buffer.allocate(layout.nbytes, client=self.local_id)
+        self._pending[key] = block
+        return self.buffer.view(block, layout.dtype, layout.shape)
+
+    def dc_commit(self, name: str, iteration: int) -> None:
+        """Publish a ``dc_alloc``'d variable — zero copies."""
+        self._check_live()
+        try:
+            block = self._pending.pop((name, iteration))
+        except KeyError:
+            raise ShmAllocationError(
+                f"dc_commit of {name!r} (iteration {iteration}) without a "
+                "matching dc_alloc") from None
+        started = time.perf_counter()
+        self.queue.put(WriteNotification(
+            variable=name, iteration=iteration, source=self.rank,
+            block=block, client=self.local_id))
+        self.write_call_seconds += time.perf_counter() - started
+        self.writes += 1
+        self.bytes_written += block.size
+
+    def df_signal(self, name: str, iteration: int) -> None:
+        """Send a user-defined event to the server."""
+        self._check_live()
+        self.config.action_for(name)  # validate before queueing
+        self.queue.put(UserEvent(name=name, iteration=iteration,
+                                 source=self.rank))
+
+    def df_finalize(self) -> None:
+        """Release the client; the server stops after the last one."""
+        self._check_live()
+        if self._pending:
+            raise ReproError(
+                f"client {self.rank} finalized with uncommitted dc_alloc "
+                f"blocks: {sorted(self._pending)}")
+        self._finalized = True
+        self.queue.put(Shutdown(source=self.rank))
+
+    def _check_live(self) -> None:
+        if self._finalized:
+            raise ReproError(f"client rank {self.rank} used after "
+                             "df_finalize")

@@ -1,0 +1,59 @@
+"""Real event queue for the threaded runtime.
+
+Carries the same message types as the DES back-end
+(:mod:`repro.core.equeue`) between client threads and the dedicated
+server thread.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Optional
+
+from repro.errors import RuntimeShutdownError
+
+__all__ = ["RuntimeQueue"]
+
+
+class RuntimeQueue:
+    """A bounded FIFO with blocking put/get (deque + condition)."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        self.capacity = capacity
+        self._items: deque = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._closed = False
+
+    def put(self, item: Any, timeout: Optional[float] = 30.0) -> None:
+        with self._not_full:
+            while len(self._items) >= self.capacity:
+                if not self._not_full.wait(timeout=timeout):
+                    raise RuntimeShutdownError("event queue is full")
+            if self._closed:
+                raise RuntimeShutdownError("event queue is closed")
+            self._items.append(item)
+            self._not_empty.notify()
+
+    def get(self, timeout: Optional[float] = None) -> Any:
+        with self._not_empty:
+            while not self._items:
+                if self._closed:
+                    return None
+                if not self._not_empty.wait(timeout=timeout):
+                    return None
+            item = self._items.popleft()
+            self._not_full.notify()
+            return item
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)

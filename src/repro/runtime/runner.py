@@ -1,0 +1,134 @@
+"""Runtime orchestration: buffers, queues, server threads, clients.
+
+A :class:`DamarisRuntime` emulates a set of SMP nodes on one machine:
+per node, one :class:`~repro.runtime.server.RuntimeServer` thread (the
+dedicated core) plus ``clients_per_node`` client handles. Clients may be
+driven from any thread (one thread per client reproduces the paper's
+concurrency; a single loop is fine for examples).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List, Optional
+
+from repro.core.config import DamarisConfig
+from repro.errors import ConfigurationError, RuntimeShutdownError
+from repro.runtime.client import RuntimeClient
+from repro.runtime.events import RuntimeQueue
+from repro.runtime.server import RuntimeServer, RuntimeStats
+from repro.runtime.shmem import RuntimeBuffer
+
+__all__ = ["DamarisRuntime"]
+
+
+class DamarisRuntime:
+    """Damaris across ``nodes`` emulated SMP nodes."""
+
+    def __init__(self, config: DamarisConfig, output_dir: str,
+                 nodes: int = 1, clients_per_node: int = 1,
+                 actions: Optional[Dict[str, Callable]] = None) -> None:
+        config.validate()
+        if nodes < 1 or clients_per_node < 1:
+            raise ConfigurationError("need >= 1 node and >= 1 client")
+        self.config = config
+        self.output_dir = output_dir
+        os.makedirs(output_dir, exist_ok=True)
+        self.servers: List[RuntimeServer] = []
+        self.clients: List[RuntimeClient] = []
+        self._running = True
+
+        for node in range(nodes):
+            buffer = RuntimeBuffer(config.buffer_size,
+                                   allocator=config.allocator,
+                                   nclients=clients_per_node)
+            queue = RuntimeQueue(config.queue_size)
+            server = RuntimeServer(node, config, buffer, queue,
+                                   nclients=clients_per_node,
+                                   output_dir=output_dir,
+                                   actions=actions)
+            server.start()
+            self.servers.append(server)
+            for local in range(clients_per_node):
+                self.clients.append(RuntimeClient(
+                    config, buffer, queue,
+                    rank=node * clients_per_node + local, local_id=local))
+
+    # ------------------------------------------------------------------ #
+    def client(self, rank: int) -> RuntimeClient:
+        try:
+            return self.clients[rank]
+        except IndexError:
+            raise ConfigurationError(f"no client with rank {rank}") from None
+
+    def signal(self, event: str, iteration: int,
+               node: Optional[int] = None) -> None:
+        """Send a *steering* event from outside the simulation (the
+        paper's "events sent … by external tools"). Fires the bound
+        action immediately on the targeted node's server (all nodes when
+        ``node`` is None), bypassing the per-client rendezvous."""
+        from repro.core.equeue import UserEvent
+        self.config.action_for(event)  # validate
+        targets = self.servers if node is None else [self.servers[node]]
+        for server in targets:
+            server.queue.put(UserEvent(name=event, iteration=iteration,
+                                       source=-1))
+
+    def shutdown(self, timeout: float = 60.0) -> None:
+        """Finalize remaining clients and join the server threads."""
+        if not self._running:
+            return
+        for client in self.clients:
+            if not client._finalized:
+                client.df_finalize()
+        for server in self.servers:
+            server.join(timeout=timeout)
+            if server.is_alive():
+                server.queue.close()
+                server.join(timeout=5.0)
+                raise RuntimeShutdownError(
+                    f"server {server.node_index} did not stop")
+        self._running = False
+        self.raise_server_errors()
+
+    def raise_server_errors(self) -> None:
+        """Re-raise the first exception any server thread hit."""
+        for server in self.servers:
+            if server.errors:
+                raise server.errors[0]
+
+    # ------------------------------------------------------------------ #
+    # aggregate accounting
+    # ------------------------------------------------------------------ #
+    def stats(self) -> List[RuntimeStats]:
+        return [server.stats for server in self.servers]
+
+    def total_bytes(self) -> Dict[str, int]:
+        bytes_in = sum(sum(s.stats.bytes_in.values()) for s in self.servers)
+        bytes_out = sum(sum(s.stats.bytes_out.values()) for s in self.servers)
+        return {"raw": bytes_in, "stored": bytes_out}
+
+    def compression_ratio_percent(self) -> float:
+        totals = self.total_bytes()
+        if totals["stored"] == 0:
+            return 100.0
+        return 100.0 * totals["raw"] / totals["stored"]
+
+    def output_files(self) -> List[str]:
+        return [path for server in self.servers
+                for path in server.stats.files]
+
+    def client_write_seconds(self) -> float:
+        """Application-visible I/O time, summed over clients."""
+        return sum(client.write_call_seconds for client in self.clients)
+
+    def server_write_seconds(self) -> float:
+        """Dedicated-core write time, summed over servers."""
+        return sum(server.stats.total_write_seconds
+                   for server in self.servers)
+
+    def __enter__(self) -> "DamarisRuntime":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()

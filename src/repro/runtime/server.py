@@ -1,0 +1,210 @@
+"""The dedicated-core server thread (real runtime).
+
+Pulls write-notifications and user events off the queue, keeps the
+⟨name, iteration, source⟩ variable index, and — when every client of the
+node has signalled the configured event — runs the bound action:
+persisting the iteration into one SHDF file per node (with optional real
+compression), computing statistics, or invoking a user callable.
+
+Per-iteration accounting (bytes in/out, seconds spent writing) feeds the
+examples' jitter/overlap reports, mirroring Fig. 5 of the paper.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.config import DamarisConfig
+from repro.core.equeue import Shutdown, UserEvent, WriteNotification
+from repro.core.metadata import StoredVariable, VariableStore
+from repro.errors import PluginError
+from repro.formats.compression import Codec, GzipCodec, Precision16Codec
+from repro.formats.shdf import SHDFWriter
+from repro.runtime.events import RuntimeQueue
+from repro.runtime.shmem import RuntimeBuffer
+
+__all__ = ["RuntimeServer", "RuntimeStats", "RuntimeActionContext"]
+
+#: Codec pipelines selectable from the configuration's ``action=``.
+STANDARD_ACTIONS = ("persist", "compress", "compress16", "statistics",
+                    "discard")
+
+
+@dataclass
+class RuntimeStats:
+    """Per-iteration accounting of one server."""
+
+    write_seconds: Dict[int, float] = field(default_factory=dict)
+    bytes_in: Dict[int, int] = field(default_factory=dict)
+    bytes_out: Dict[int, int] = field(default_factory=dict)
+    files: List[str] = field(default_factory=list)
+
+    def compression_ratio_percent(self, iteration: int) -> float:
+        out = self.bytes_out.get(iteration, 0)
+        if out == 0:
+            return 100.0
+        return 100.0 * self.bytes_in.get(iteration, 0) / out
+
+    @property
+    def total_write_seconds(self) -> float:
+        return sum(self.write_seconds.values())
+
+
+@dataclass
+class RuntimeActionContext:
+    """What a user action callable receives."""
+
+    server: "RuntimeServer"
+    event: UserEvent
+    entries: List[StoredVariable]
+
+    def array_of(self, entry: StoredVariable) -> np.ndarray:
+        return self.server.buffer.read_array(
+            entry.block, entry.layout.dtype, entry.effective_shape)
+
+
+class RuntimeServer(threading.Thread):
+    """Dedicated-core server for one node of the runtime."""
+
+    def __init__(self, node_index: int, config: DamarisConfig,
+                 buffer: RuntimeBuffer, queue: RuntimeQueue,
+                 nclients: int, output_dir: str,
+                 actions: Optional[Dict[str, Callable]] = None) -> None:
+        super().__init__(name=f"damaris-server-{node_index}", daemon=True)
+        self.node_index = node_index
+        self.config = config
+        self.buffer = buffer
+        self.queue = queue
+        self.nclients = nclients
+        self.output_dir = output_dir
+        self.custom_actions = dict(actions or {})
+        self.store = VariableStore()
+        self.stats = RuntimeStats()
+        self.errors: List[BaseException] = []
+        self._arrivals: Dict[tuple, int] = {}
+        self._finalized = 0
+
+    # ------------------------------------------------------------------ #
+    # thread body
+    # ------------------------------------------------------------------ #
+    def run(self) -> None:
+        try:
+            while True:
+                message = self.queue.get(timeout=60.0)
+                if message is None:
+                    break
+                if isinstance(message, WriteNotification):
+                    self._on_write(message)
+                elif isinstance(message, UserEvent):
+                    self._on_event(message)
+                elif isinstance(message, Shutdown):
+                    self._finalized += 1
+                    if self._finalized >= self.nclients:
+                        break
+            # Flush anything still buffered.
+            for iteration in self.store.iterations():
+                self._persist(iteration, codecs=())
+        except BaseException as exc:  # surface in the main thread
+            self.errors.append(exc)
+
+    def _on_write(self, message: WriteNotification) -> None:
+        layout = self.config.layout_of(message.variable)
+        self.store.add(StoredVariable(
+            name=message.variable, iteration=message.iteration,
+            source=message.source, layout=layout, block=message.block,
+            nbytes=message.block.size, local_client=message.client,
+            shape=message.shape))
+
+    def _on_event(self, event: UserEvent) -> None:
+        spec = self.config.action_for(event.name)
+        if event.source < 0:
+            # External/steering event (sent by a tool, not a client):
+            # fires immediately, bypassing the per-client rendezvous.
+            self._dispatch(spec.action, event)
+            return
+        if spec.scope == "local":
+            key = (event.name, event.iteration)
+            arrived = self._arrivals.get(key, 0) + 1
+            if arrived < self.nclients:
+                self._arrivals[key] = arrived
+                return
+            self._arrivals.pop(key, None)
+        self._dispatch(spec.action, event)
+
+    def _dispatch(self, action: str, event: UserEvent) -> None:
+        if action in self.custom_actions:
+            entries = self.store.iteration_entries(event.iteration)
+            self.custom_actions[action](
+                RuntimeActionContext(self, event, entries))
+            return
+        if action == "persist":
+            self._persist(event.iteration, codecs=())
+        elif action == "compress":
+            self._persist(event.iteration, codecs=(GzipCodec(),))
+        elif action == "compress16":
+            self._persist(event.iteration,
+                          codecs=(Precision16Codec(), GzipCodec()))
+        elif action == "statistics":
+            self._statistics(event.iteration)
+        elif action == "discard":
+            self._release(event.iteration)
+        else:
+            raise PluginError(
+                f"unknown action {action!r}; standard actions are "
+                f"{STANDARD_ACTIONS} (or register a custom callable)")
+
+    # ------------------------------------------------------------------ #
+    # actions
+    # ------------------------------------------------------------------ #
+    def _persist(self, iteration: int, codecs: tuple) -> None:
+        entries = self.store.iteration_entries(iteration)
+        if not entries:
+            return
+        started = time.perf_counter()
+        path = os.path.join(self.output_dir,
+                            f"node{self.node_index}",
+                            f"iter{iteration:06d}.shdf")
+        bytes_in = 0
+        bytes_out = 0
+        with SHDFWriter(path) as writer:
+            writer.set_attr("iteration", iteration)
+            writer.set_attr("node", self.node_index)
+            for entry in entries:
+                array = self.buffer.read_array(
+                    entry.block, entry.layout.dtype,
+                    entry.effective_shape)
+                stored = writer.write_dataset(
+                    f"{entry.name}/src{entry.source}", array,
+                    codecs=list(codecs),
+                    attrs={"iteration": iteration, "source": entry.source,
+                           "layout": entry.layout.name})
+                bytes_in += array.nbytes
+                bytes_out += stored
+        self._release(iteration)
+        elapsed = time.perf_counter() - started
+        self.stats.write_seconds[iteration] = elapsed
+        self.stats.bytes_in[iteration] = bytes_in
+        self.stats.bytes_out[iteration] = bytes_out
+        self.stats.files.append(path)
+
+    def _statistics(self, iteration: int) -> None:
+        entries = self.store.iteration_entries(iteration)
+        summary = {}
+        for entry in entries:
+            array = self.buffer.read_array(
+                entry.block, entry.layout.dtype, entry.effective_shape)
+            summary[(entry.name, entry.source)] = (
+                float(array.min()), float(array.max()),
+                float(array.mean()))
+        self.last_statistics = summary
+        self._release(iteration)
+
+    def _release(self, iteration: int) -> None:
+        for entry in self.store.pop_iteration(iteration):
+            self.buffer.free(entry.block, client=entry.local_client)

@@ -1,0 +1,92 @@
+"""Real shared-memory arena for the threaded runtime.
+
+A :class:`RuntimeBuffer` owns a byte arena plus one of the two Damaris
+allocation algorithms (:class:`~repro.core.shm.MutexAllocator` under a
+real lock, or the lock-free :class:`~repro.core.shm.PartitionedAllocator`)
+and hands out numpy views into reserved blocks — the ``dc_alloc`` path
+gives the simulation a window it can compute into directly (zero copy).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.shm import Block, MutexAllocator, PartitionedAllocator
+from repro.errors import ShmAllocationError
+
+__all__ = ["RuntimeBuffer"]
+
+
+class RuntimeBuffer:
+    """A byte arena with blocking allocation and numpy views."""
+
+    def __init__(self, capacity: int, allocator: str = "mutex",
+                 nclients: int = 1) -> None:
+        self._arena = np.zeros(capacity, dtype=np.uint8)
+        self.capacity = capacity
+        if allocator == "mutex":
+            self._allocator = MutexAllocator(capacity)
+        elif allocator == "partitioned":
+            self._allocator = PartitionedAllocator(capacity, nclients)
+        else:
+            raise ShmAllocationError(f"unknown allocator {allocator!r}")
+        self._lock = threading.Lock()
+        self._freed = threading.Condition(self._lock)
+        self.stalls = 0
+        self.bytes_reserved = 0
+
+    @property
+    def allocator_name(self) -> str:
+        return self._allocator.name
+
+    @property
+    def used_bytes(self) -> int:
+        with self._lock:
+            return self._allocator.used_bytes
+
+    def allocate(self, nbytes: int, client: int = 0,
+                 timeout: Optional[float] = 30.0) -> Block:
+        """Reserve ``nbytes``, blocking while the buffer is full."""
+        with self._freed:
+            block = self._allocator.allocate(nbytes, client)
+            while block is None:
+                self.stalls += 1
+                if not self._freed.wait(timeout=timeout):
+                    raise ShmAllocationError(
+                        f"timed out waiting for {nbytes} B of buffer space "
+                        f"(capacity {self.capacity} B)")
+                block = self._allocator.allocate(nbytes, client)
+            self.bytes_reserved += nbytes
+            return block
+
+    def free(self, block: Block, client: int = 0) -> None:
+        with self._freed:
+            self._allocator.free(block, client)
+            self._freed.notify_all()
+
+    # ------------------------------------------------------------------ #
+    # data access
+    # ------------------------------------------------------------------ #
+    def write_array(self, block: Block, array: np.ndarray) -> None:
+        """Copy ``array`` into the block (the df_write memcpy)."""
+        raw = np.ascontiguousarray(array).view(np.uint8).reshape(-1)
+        if raw.size != block.size:
+            raise ShmAllocationError(
+                f"array of {raw.size} B does not fit block of "
+                f"{block.size} B")
+        self._arena[block.offset:block.end] = raw
+
+    def view(self, block: Block, dtype: np.dtype,
+             shape: Tuple[int, ...]) -> np.ndarray:
+        """A live numpy view of the block (the dc_alloc window)."""
+        count = block.size // np.dtype(dtype).itemsize
+        flat = self._arena[block.offset:block.end].view(dtype)[:count]
+        return flat.reshape(shape)
+
+    def read_array(self, block: Block, dtype: np.dtype,
+                   shape: Tuple[int, ...]) -> np.ndarray:
+        """Copy the block's content out as an owned array (server side)."""
+        return self.view(block, dtype, shape).copy()

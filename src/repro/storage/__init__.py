@@ -1,0 +1,39 @@
+"""Parallel file system models (Lustre-, PVFS- and GPFS-like).
+
+A :class:`~repro.storage.filesystem.ParallelFileSystem` owns a set of
+:class:`~repro.storage.disk.StorageTarget` data servers (whose bandwidth is
+shared through the machine's flow network and degrades with stream
+concurrency), one or more :class:`~repro.storage.metadata.MetadataServer`
+queues, a :class:`~repro.storage.striping.StripeLayout` policy and an
+optional :class:`~repro.storage.locks.ExtentLockManager`.
+
+The three concrete file systems differ exactly where the paper says they
+do (Section I/II): Lustre has a single metadata server (create storms
+serialise) and extent locks on shared files; PVFS distributes metadata and
+does no client locking; GPFS uses byte-range lock tokens and a small
+number of NSD servers.
+"""
+
+from repro.storage.disk import StorageTarget, TargetSpec
+from repro.storage.filesystem import FileHandle, ParallelFileSystem, SimFile
+from repro.storage.gpfs import GPFS
+from repro.storage.locks import ExtentLockManager
+from repro.storage.lustre import Lustre
+from repro.storage.metadata import MetadataServer, MetadataSpec
+from repro.storage.pvfs import PVFS
+from repro.storage.striping import StripeLayout
+
+__all__ = [
+    "ExtentLockManager",
+    "FileHandle",
+    "GPFS",
+    "Lustre",
+    "MetadataServer",
+    "MetadataSpec",
+    "PVFS",
+    "ParallelFileSystem",
+    "SimFile",
+    "StorageTarget",
+    "StripeLayout",
+    "TargetSpec",
+]

@@ -1,0 +1,233 @@
+"""Storage target (data server / OST / NSD) service model.
+
+Each target is a :class:`~repro.des.bandwidth.LinkCapacity` with service
+effects layered on top:
+
+- **object concurrency degradation** — a disk-backed target writing many
+  *distinct files* at once thrashes (seeks, cache dilution). Efficiency
+  is ``1 / (1 + (n_objects-1 / object_half)^object_exp)``, floored at
+  ``min_efficiency``. This is why file-per-process collapses at scale
+  while Damaris' one-file-per-node stays near peak ("reducing the number
+  of writers allows data servers to optimize disk accesses and caching").
+- **stream concurrency degradation** — per-connection overhead: many
+  concurrent client streams cost efficiency even inside one file (gentler
+  curve; dominant on network-bound PVFS servers, mild on Lustre OSTs).
+- **per-request efficiency** — a request with access granularity ``g``
+  is capped at ``stream_peak · g / (g + request_overhead_bytes)``: small
+  or finely-strided requests never reach streaming bandwidth.
+- **stragglers** — each request's cap is further multiplied by a
+  lognormal slowdown; the heavy tail makes the *max* write time diverge
+  from the mean at scale.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.des.bandwidth import Flow, LinkCapacity
+from repro.errors import StorageError
+from repro.units import KiB, MiB
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.machine import Machine
+    from repro.cluster.node import SMPNode
+
+__all__ = ["TargetSpec", "StorageTarget"]
+
+
+@dataclass
+class TargetSpec:
+    """Tunable service parameters of one storage target."""
+
+    #: Peak sequential bandwidth of the target, bytes/s.
+    peak_bandwidth: float = 90e6
+    #: Peak bandwidth achievable by a single stream, bytes/s.
+    stream_peak: float = 90e6
+    #: Distinct concurrent file objects at which efficiency halves.
+    object_half: float = 20.0
+    #: Shape of the object-concurrency curve.
+    object_exp: float = 1.0
+    #: Concurrent streams at which efficiency halves (gentle by default).
+    stream_half: float = 1500.0
+    #: Shape of the stream-concurrency curve.
+    stream_exp: float = 1.0
+    #: Floor on the combined concurrency-degraded efficiency.
+    min_efficiency: float = 0.02
+    #: Access granularity at which per-request efficiency reaches 50 %.
+    request_overhead_bytes: float = 256 * KiB
+    #: Lognormal sigma of the per-request straggler factor.
+    straggler_sigma: float = 0.3
+    #: Fixed per-request service latency, seconds.
+    request_latency: float = 2e-3
+    #: Requests in service concurrently; the rest wait FIFO. This is what
+    #: spreads per-rank write times (the paper's "fastest <1 s, slowest
+    #: >25 s"): early requests run at a large bandwidth share, late ones
+    #: queue behind everyone. 0 disables queueing (pure fair sharing).
+    queue_depth: int = 16
+
+    def __post_init__(self) -> None:
+        if self.peak_bandwidth <= 0 or self.stream_peak <= 0:
+            raise StorageError("bandwidths must be > 0")
+        if not 0 < self.min_efficiency <= 1:
+            raise StorageError(
+                f"min_efficiency must be in (0,1], got {self.min_efficiency}")
+        if self.object_half <= 0 or self.stream_half <= 0:
+            raise StorageError("concurrency half-points must be > 0")
+        if self.straggler_sigma < 0:
+            raise StorageError("straggler_sigma must be >= 0")
+        if self.queue_depth < 0:
+            raise StorageError("queue_depth must be >= 0")
+
+
+class StorageTarget:
+    """One data server; owns a flow-network capacity that degrades with load."""
+
+    def __init__(self, machine: "Machine", name: str, spec: TargetSpec) -> None:
+        self.machine = machine
+        self.name = name
+        self.spec = spec
+        self.link: LinkCapacity = machine.flows.add_capacity(
+            name, spec.peak_bandwidth)
+        self.active_streams = 0
+        self._active_objects: Dict[int, int] = {}
+        self.bytes_written = 0.0
+        self.requests_served = 0
+        self._stream = machine.streams.stream(f"straggler.{name}")
+        from repro.des.resources import Resource
+        self._service_slots = (
+            Resource(machine.sim, capacity=spec.queue_depth)
+            if spec.queue_depth > 0 else None)
+        #: External capacity modulation (cross-application interference).
+        self.interference_factor = 1.0
+        self._applied_capacity = spec.peak_bandwidth
+        #: Relative capacity change below which updates are skipped (a
+        #: ±1-stream wiggle among hundreds must not trigger a global
+        #: share recomputation).
+        self.update_threshold = 0.03
+
+    # ------------------------------------------------------------------ #
+    # service model
+    # ------------------------------------------------------------------ #
+    def efficiency(self, nobjects: int, nstreams: int) -> float:
+        """Combined concurrency-degraded fraction of peak bandwidth."""
+        spec = self.spec
+        eff = 1.0
+        if nobjects > 1:
+            eff /= 1.0 + ((nobjects - 1) / spec.object_half) ** spec.object_exp
+        if nstreams > 1:
+            eff /= 1.0 + ((nstreams - 1) / spec.stream_half) ** spec.stream_exp
+        return max(eff, spec.min_efficiency)
+
+    def request_rate_cap(self, granularity: float) -> float:
+        """Per-stream rate cap for an access granularity (before straggler)."""
+        spec = self.spec
+        if granularity <= 0:
+            return spec.stream_peak
+        size_eff = granularity / (granularity + spec.request_overhead_bytes)
+        return spec.stream_peak * size_eff
+
+    def straggler_factor(self) -> float:
+        """Multiplicative slowdown (median 1) for one request."""
+        sigma = self.spec.straggler_sigma
+        if sigma == 0:
+            return 1.0
+        return 1.0 / float(self._stream.lognormal(mean=0.0, sigma=sigma))
+
+    def set_interference(self, factor: float) -> None:
+        """Scale capacity by an external load factor in (0, 1]."""
+        if not 0 < factor <= 1:
+            raise StorageError(f"interference factor must be in (0,1], "
+                               f"got {factor}")
+        self.interference_factor = factor
+        self._update_capacity()
+
+    def _update_capacity(self) -> None:
+        eff = self.efficiency(len(self._active_objects), self.active_streams)
+        capacity = max(
+            self.spec.peak_bandwidth * eff * self.interference_factor, 1.0)
+        if abs(capacity - self._applied_capacity) \
+                <= self.update_threshold * self._applied_capacity:
+            return
+        self._applied_capacity = capacity
+        self.link.set_capacity(capacity)
+
+    # ------------------------------------------------------------------ #
+    # I/O entry points
+    # ------------------------------------------------------------------ #
+    def write_segment(self, source: "SMPNode", nbytes: float,
+                      file_id: int = -1,
+                      granularity: Optional[float] = None,
+                      label: str = "write"):
+        """Process: move ``nbytes`` from ``source`` into this target.
+
+        ``file_id`` feeds the object-concurrency model; ``granularity``
+        is the contiguous access size (defaults to the whole segment).
+        """
+        spec = self.spec
+        if spec.request_latency > 0:
+            yield self.machine.sim.timeout(spec.request_latency)
+        self._enter(file_id)
+        slot = None
+        try:
+            if self._service_slots is not None:
+                slot = self._service_slots.request()
+                yield slot
+            grain = granularity if granularity is not None else nbytes
+            cap = self.request_rate_cap(grain) * self.straggler_factor()
+            path = self.machine.path_to_storage(source, self.link)
+            flow = self.machine.flows.transfer(
+                path, nbytes, rate_cap=max(cap, 1.0),
+                label=f"{self.name}.{label}")
+            yield flow.event
+        finally:
+            if slot is not None:
+                self._service_slots.release(slot)
+            self._leave(file_id)
+            self.bytes_written += nbytes
+            self.requests_served += 1
+
+    def read_segment(self, dest: "SMPNode", nbytes: float,
+                     file_id: int = -1, label: str = "read"):
+        """Process: move ``nbytes`` from this target to ``dest``."""
+        spec = self.spec
+        if spec.request_latency > 0:
+            yield self.machine.sim.timeout(spec.request_latency)
+        self._enter(file_id)
+        slot = None
+        try:
+            if self._service_slots is not None:
+                slot = self._service_slots.request()
+                yield slot
+            cap = self.request_rate_cap(nbytes) * self.straggler_factor()
+            path = [self.link, dest.nic_rx]
+            if self.machine.fabric is not None:
+                path.insert(1, self.machine.fabric)
+            flow = self.machine.flows.transfer(
+                path, nbytes, rate_cap=max(cap, 1.0),
+                label=f"{self.name}.{label}")
+            yield flow.event
+        finally:
+            if slot is not None:
+                self._service_slots.release(slot)
+            self._leave(file_id)
+
+    def _enter(self, file_id: int) -> None:
+        self.active_streams += 1
+        self._active_objects[file_id] = \
+            self._active_objects.get(file_id, 0) + 1
+        self._update_capacity()
+
+    def _leave(self, file_id: int) -> None:
+        self.active_streams -= 1
+        remaining = self._active_objects.get(file_id, 0) - 1
+        if remaining <= 0:
+            self._active_objects.pop(file_id, None)
+        else:
+            self._active_objects[file_id] = remaining
+        self._update_capacity()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<StorageTarget {self.name} streams={self.active_streams} "
+                f"objects={len(self._active_objects)}>")

@@ -1,0 +1,57 @@
+"""GPFS-like file system: few NSD servers, byte-range lock tokens.
+
+GPFS distributes data over a small number of NSD servers (BluePrint ran
+GPFS on 2 nodes) and uses a token-based byte-range locking protocol: the
+first writer gets the whole range, later conflicting writers split it —
+modelled here with the same stripe-granular lock manager as Lustre, but
+with a cheaper revocation (token split) and metadata distributed over the
+NSD servers.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import TYPE_CHECKING, Optional
+
+from repro.storage.disk import TargetSpec
+from repro.storage.filesystem import ParallelFileSystem
+from repro.storage.locks import ExtentLockManager
+from repro.storage.metadata import MetadataServer, MetadataSpec
+from repro.units import MiB
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.machine import Machine
+
+__all__ = ["GPFS"]
+
+
+class GPFS(ParallelFileSystem):
+    """GPFS model: NSD servers with byte-range token locks."""
+
+    fs_type = "gpfs"
+
+    def __init__(self, machine: "Machine", ntargets: int = 2,
+                 target_spec: Optional[TargetSpec] = None,
+                 metadata_spec: Optional[MetadataSpec] = None,
+                 default_stripe_size: int = 4 * MiB,
+                 default_stripe_count: Optional[int] = None,
+                 revoke_latency: float = 0.8e-3,
+                 name: str = "gpfs") -> None:
+        super().__init__(
+            machine,
+            ntargets=ntargets,
+            target_spec=target_spec,
+            metadata_spec=metadata_spec,
+            n_metadata_servers=ntargets,
+            default_stripe_size=default_stripe_size,
+            default_stripe_count=(default_stripe_count
+                                  if default_stripe_count is not None
+                                  else ntargets),
+            lock_manager=ExtentLockManager(machine,
+                                           revoke_latency=revoke_latency),
+            name=name,
+        )
+
+    def _mds_for(self, path: str) -> MetadataServer:
+        index = zlib.crc32(path.encode("utf-8")) % len(self.metadata_servers)
+        return self.metadata_servers[index]

@@ -1,0 +1,53 @@
+"""PVFS-like file system: distributed metadata, no client locking.
+
+PVFS hashes metadata over all servers (no single-MDS bottleneck) and does
+not implement client byte-range locking — concurrent writers to a shared
+file simply interleave (applications must write disjoint regions, which
+MPI-IO guarantees). Files stripe across *all* servers by default.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import TYPE_CHECKING, Optional
+
+from repro.storage.disk import TargetSpec
+from repro.storage.filesystem import ParallelFileSystem
+from repro.storage.metadata import MetadataServer, MetadataSpec
+from repro.units import KiB
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.machine import Machine
+
+__all__ = ["PVFS"]
+
+
+class PVFS(ParallelFileSystem):
+    """PVFS model: metadata spread over every server, lock-free data path."""
+
+    fs_type = "pvfs"
+
+    def __init__(self, machine: "Machine", ntargets: int = 15,
+                 target_spec: Optional[TargetSpec] = None,
+                 metadata_spec: Optional[MetadataSpec] = None,
+                 default_stripe_size: int = 64 * KiB,
+                 default_stripe_count: Optional[int] = None,
+                 name: str = "pvfs") -> None:
+        super().__init__(
+            machine,
+            ntargets=ntargets,
+            target_spec=target_spec,
+            metadata_spec=metadata_spec,
+            # Every PVFS server also serves metadata.
+            n_metadata_servers=ntargets,
+            default_stripe_size=default_stripe_size,
+            default_stripe_count=(default_stripe_count
+                                  if default_stripe_count is not None
+                                  else ntargets),
+            lock_manager=None,  # PVFS does no client locking
+            name=name,
+        )
+
+    def _mds_for(self, path: str) -> MetadataServer:
+        index = zlib.crc32(path.encode("utf-8")) % len(self.metadata_servers)
+        return self.metadata_servers[index]

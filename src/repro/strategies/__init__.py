@@ -1,0 +1,24 @@
+"""The I/O strategies under test: file-per-process, collective I/O, Damaris.
+
+Each strategy implements :class:`~repro.strategies.base.IOStrategy` — the
+per-rank write-phase behaviour plus setup/teardown — and is driven by
+:mod:`repro.experiments.harness`, which measures exactly what the paper
+measures: the barrier-to-barrier write-phase duration seen by the
+simulation, the per-rank write times, the aggregate throughput, and (for
+Damaris) the dedicated cores' write/spare time.
+"""
+
+from repro.strategies.base import IOStrategy, StrategyContext
+from repro.strategies.file_per_process import FilePerProcessStrategy
+from repro.strategies.collective import CollectiveIOStrategy
+from repro.strategies.damaris_strategy import DamarisStrategy
+from repro.strategies.null import NoIOStrategy
+
+__all__ = [
+    "CollectiveIOStrategy",
+    "DamarisStrategy",
+    "FilePerProcessStrategy",
+    "IOStrategy",
+    "NoIOStrategy",
+    "StrategyContext",
+]

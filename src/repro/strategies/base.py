@@ -1,0 +1,78 @@
+"""Strategy interface and shared context."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+from repro.formats.compression import CompressionModel
+from repro.formats.hdf5model import HDF5CostModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.apps.workload import CM1Workload
+    from repro.cluster.machine import Machine
+    from repro.mpi.comm import Communicator
+    from repro.storage.filesystem import ParallelFileSystem
+
+__all__ = ["StrategyContext", "IOStrategy"]
+
+
+@dataclass
+class StrategyContext:
+    """Everything a strategy needs while the experiment runs."""
+
+    machine: "Machine"
+    fs: "ParallelFileSystem"
+    comm: "Communicator"
+    workload: "CM1Workload"
+    #: Per-core subdomain dilation (1.0 without dedicated cores).
+    dilation: float = 1.0
+    #: gzip-style model for strategies that compress on the compute cores.
+    compression: Optional[CompressionModel] = None
+    #: Format cost model.
+    hdf5: HDF5CostModel = field(default_factory=HDF5CostModel)
+    #: Scratch space for strategy state (shared files, deployments...).
+    state: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def bytes_per_rank(self) -> int:
+        return self.workload.bytes_per_core(self.dilation)
+
+    @property
+    def ndatasets(self) -> int:
+        return len(self.workload.variables)
+
+
+class IOStrategy:
+    """One approach to performing CM1's periodic output."""
+
+    #: Display name (used in tables and reports).
+    name = "abstract"
+    #: Whether the harness must dedicate cores per node to this strategy.
+    uses_dedicated_cores = False
+    #: How many cores per node to dedicate (when uses_dedicated_cores).
+    dedicated_cores_per_node = 1
+
+    def setup(self, ctx: StrategyContext) -> None:
+        """Plain-Python preparation before any rank starts (no sim time)."""
+
+    def rank_setup(self, ctx: StrategyContext, rank: int):
+        """Process: per-rank preparation (may cost simulated time)."""
+        yield ctx.machine.sim.timeout(0.0)
+
+    def write_phase(self, ctx: StrategyContext, rank: int, phase: int):
+        """Process: one rank's work during write phase ``phase``."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def rank_teardown(self, ctx: StrategyContext, rank: int):
+        """Process: per-rank cleanup after the last phase."""
+        yield ctx.machine.sim.timeout(0.0)
+
+    def finalize(self, ctx: StrategyContext) -> None:
+        """Plain-Python cleanup after the simulation finishes."""
+
+    def drain_events(self, ctx: StrategyContext):
+        """Events that must complete before the experiment is 'done'
+        (e.g. Damaris servers flushing). Default: none."""
+        return []

@@ -1,0 +1,50 @@
+"""The file-per-process baseline (HDF5, one file per rank per phase).
+
+Every rank creates its own file — no synchronisation between processes,
+but N files per phase hammer the metadata servers (catastrophically so on
+Lustre's single MDS) and N concurrent streams thrash every storage target.
+Compression *is* possible in this mode (HDF5 gzip filter), at the price of
+CPU time inside the write phase on the compute cores.
+"""
+
+from __future__ import annotations
+
+from repro.strategies.base import IOStrategy, StrategyContext
+
+__all__ = ["FilePerProcessStrategy"]
+
+
+class FilePerProcessStrategy(IOStrategy):
+    """One HDF5 file per process per write phase."""
+
+    name = "file-per-process"
+
+    def __init__(self, compress: bool = False) -> None:
+        self.compress = compress
+
+    def write_phase(self, ctx: StrategyContext, rank: int, phase: int):
+        machine = ctx.machine
+        node = ctx.comm.node_of(rank)
+        data_bytes = ctx.bytes_per_rank
+
+        if self.compress:
+            if ctx.compression is None:
+                raise ValueError(
+                    "FilePerProcessStrategy(compress=True) needs "
+                    "ctx.compression")
+            # gzip runs on the compute core, inside the write phase.
+            yield machine.sim.timeout(
+                ctx.compression.cpu_seconds(data_bytes))
+            data_bytes = ctx.hdf5.compressed_bytes(data_bytes,
+                                                   ctx.compression)
+
+        pack = ctx.hdf5.pack_time(data_bytes)
+        if pack > 0:
+            yield machine.sim.timeout(pack)
+
+        path = f"fpp/phase{phase}/rank{rank}.h5"
+        file_bytes = ctx.hdf5.file_bytes(data_bytes, ctx.ndatasets)
+        handle = yield machine.sim.process(ctx.fs.create(node, path))
+        yield machine.sim.process(
+            ctx.fs.write(handle, 0, int(file_bytes), label="fpp"))
+        yield machine.sim.process(ctx.fs.close(handle))

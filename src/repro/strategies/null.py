@@ -1,0 +1,21 @@
+"""The no-I/O baseline.
+
+The paper's scalability factor S = N·C576/TN uses as its reference the run
+time of 50 iterations *without any I/O and without a dedicated core*; this
+strategy provides that measurement.
+"""
+
+from __future__ import annotations
+
+from repro.strategies.base import IOStrategy, StrategyContext
+
+__all__ = ["NoIOStrategy"]
+
+
+class NoIOStrategy(IOStrategy):
+    """Computation only: write phases are empty."""
+
+    name = "no-io"
+
+    def write_phase(self, ctx: StrategyContext, rank: int, phase: int):
+        yield ctx.machine.sim.timeout(0.0)

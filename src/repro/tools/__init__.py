@@ -1,0 +1,7 @@
+"""Command-line tools.
+
+- ``python -m repro.tools.figures <figure>|all`` — regenerate any of the
+  paper's tables/figures from the calibrated models and print the report;
+- ``python -m repro.tools.shdfls <file.shdf> [dataset]`` — inspect SHDF
+  containers written by the runtime and the examples.
+"""

@@ -1,0 +1,53 @@
+"""Regenerate the paper's tables and figures from the command line.
+
+Usage::
+
+    python -m repro.tools.figures            # list available figures
+    python -m repro.tools.figures fig2       # regenerate one
+    python -m repro.tools.figures all        # regenerate everything
+    REPRO_FAST=1 python -m repro.tools.figures fig4   # trimmed sweep
+
+Each driver prints the same rows the corresponding bench asserts on and
+that EXPERIMENTS.md documents.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict
+
+from repro.experiments import figures
+
+DRIVERS: Dict[str, Callable] = {
+    "fig2": figures.fig2_write_phase_kraken,
+    "fig3": figures.fig3_blueprint_volume,
+    "fig4": figures.fig4_scalability_kraken,
+    "fig5": figures.fig5_spare_time,
+    "fig6": figures.fig6_throughput_kraken,
+    "fig7": figures.fig7_spare_strategies,
+    "table1": figures.table1_grid5000,
+    "model": figures.model_breakeven,
+}
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__)
+        print("available figures:", ", ".join(sorted(DRIVERS)), "| all")
+        return 0
+    names = sorted(DRIVERS) if argv[0] == "all" else argv
+    unknown = [name for name in names if name not in DRIVERS]
+    if unknown:
+        print(f"unknown figure(s): {', '.join(unknown)}; "
+              f"available: {', '.join(sorted(DRIVERS))}", file=sys.stderr)
+        return 2
+    for name in names:
+        report = DRIVERS[name]()
+        print(report.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,70 @@
+"""Inspect SHDF containers.
+
+Usage::
+
+    python -m repro.tools.shdfls out/node0/iter000002.shdf
+    python -m repro.tools.shdfls out/node0/iter000002.shdf theta/src0
+
+Without a dataset argument, lists the file's groups, datasets, shapes,
+stored sizes and compression ratios. With one, prints the dataset's
+summary statistics.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.formats.shdf import SHDFReader
+from repro.units import fmt_bytes
+
+
+def describe_file(reader: SHDFReader) -> str:
+    lines = [f"SHDF container: {reader.path}"]
+    if reader.attrs:
+        lines.append(f"  attributes: {reader.attrs}")
+    if reader.groups:
+        lines.append(f"  groups: {', '.join(reader.groups)}")
+    lines.append(f"  datasets ({len(reader.datasets)}):")
+    for name in reader.datasets:
+        info = reader.dataset_info(name)
+        raw, stored = info["raw_bytes"], info["stored_bytes"]
+        ratio = 100.0 * raw / stored if stored else 0.0
+        lines.append(
+            f"    {name:32s} {str(tuple(info['shape'])):>16s} "
+            f"{info['dtype']:>8s}  {fmt_bytes(raw):>10s} -> "
+            f"{fmt_bytes(stored):>10s} ({ratio:.0f} %)")
+    return "\n".join(lines)
+
+
+def describe_dataset(reader: SHDFReader, name: str) -> str:
+    array = reader.read_dataset(name)
+    attrs = reader.dataset_attrs(name)
+    lines = [
+        f"dataset {name!r} of {reader.path}",
+        f"  shape {array.shape}, dtype {array.dtype}",
+        f"  min {array.min():.6g}  max {array.max():.6g}  "
+        f"mean {array.mean():.6g}  std {array.std():.6g}",
+    ]
+    if attrs:
+        lines.append(f"  attributes: {attrs}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0
+    path = argv[0]
+    with SHDFReader(path) as reader:
+        if len(argv) > 1:
+            print(describe_dataset(reader, argv[1]))
+        else:
+            print(describe_file(reader))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

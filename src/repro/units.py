@@ -1,0 +1,88 @@
+"""Unit helpers: byte sizes, rates and human-readable formatting.
+
+Conventions used across the package:
+
+- **time** is a float in seconds of simulated (or wall-clock) time;
+- **size** is an int (or float for aggregate statistics) in bytes;
+- **rate** is a float in bytes per second.
+"""
+
+from __future__ import annotations
+
+# Binary byte-size units (IEC).
+KiB: int = 1024
+MiB: int = 1024 * KiB
+GiB: int = 1024 * MiB
+TiB: int = 1024 * GiB
+
+# Decimal units, used when quoting the paper's MB/s and GB/s figures.
+KB: int = 1000
+MB: int = 1000 * KB
+GB: int = 1000 * MB
+
+_SIZE_STEPS = (
+    (TiB, "TiB"),
+    (GiB, "GiB"),
+    (MiB, "MiB"),
+    (KiB, "KiB"),
+)
+
+_RATE_STEPS = (
+    (GB, "GB/s"),
+    (MB, "MB/s"),
+    (KB, "KB/s"),
+)
+
+
+def fmt_bytes(nbytes: float) -> str:
+    """Format a byte count with a binary suffix, e.g. ``24.0 MiB``."""
+    sign = "-" if nbytes < 0 else ""
+    nbytes = abs(nbytes)
+    for step, suffix in _SIZE_STEPS:
+        if nbytes >= step:
+            return f"{sign}{nbytes / step:.2f} {suffix}"
+    return f"{sign}{nbytes:.0f} B"
+
+
+def fmt_rate(bytes_per_s: float) -> str:
+    """Format a throughput with a decimal suffix, matching the paper's units."""
+    sign = "-" if bytes_per_s < 0 else ""
+    bytes_per_s = abs(bytes_per_s)
+    for step, suffix in _RATE_STEPS:
+        if bytes_per_s >= step:
+            return f"{sign}{bytes_per_s / step:.2f} {suffix}"
+    return f"{sign}{bytes_per_s:.0f} B/s"
+
+
+def fmt_time(seconds: float) -> str:
+    """Format a duration, picking s / ms / µs as appropriate."""
+    sign = "-" if seconds < 0 else ""
+    seconds = abs(seconds)
+    if seconds >= 60.0:
+        minutes, rem = divmod(seconds, 60.0)
+        return f"{sign}{int(minutes)}m{rem:04.1f}s"
+    if seconds >= 1.0:
+        return f"{sign}{seconds:.2f} s"
+    if seconds >= 1e-3:
+        return f"{sign}{seconds * 1e3:.2f} ms"
+    return f"{sign}{seconds * 1e6:.2f} us"
+
+
+def parse_size(text: str) -> int:
+    """Parse a human-entered size such as ``"32MB"``, ``"1 MiB"`` or ``"512"``.
+
+    Decimal (kB/MB/GB) and binary (KiB/MiB/GiB) suffixes are both accepted;
+    a bare number is bytes.
+    """
+    text = text.strip()
+    suffixes = {
+        "tib": TiB, "gib": GiB, "mib": MiB, "kib": KiB,
+        "tb": 1000 * GB, "gb": GB, "mb": MB, "kb": KB,
+        "b": 1,
+    }
+    lowered = text.lower()
+    for suffix in sorted(suffixes, key=len, reverse=True):
+        if lowered.endswith(suffix):
+            number = lowered[: -len(suffix)].strip()
+            return int(float(number) * suffixes[suffix])
+    return int(float(lowered))

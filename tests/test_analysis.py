@@ -1,0 +1,122 @@
+"""Tests for jitter statistics, the V-A model and scalability factors."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    breakeven_io_fraction,
+    dedication_benefit,
+    dedication_pays_off,
+    jitter_stats,
+    scalability_factor,
+)
+from repro.errors import ReproError
+
+
+class TestJitterStats:
+    def test_basic_statistics(self):
+        stats = jitter_stats([1.0, 2.0, 3.0, 10.0])
+        assert stats.mean == 4.0
+        assert stats.maximum == 10.0
+        assert stats.minimum == 1.0
+        assert stats.spread == 9.0
+        assert stats.count == 4
+        assert stats.cov > 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            jitter_stats([])
+
+    def test_constant_sample(self):
+        stats = jitter_stats([0.2] * 50)
+        assert stats.spread == 0.0
+        assert stats.cov == pytest.approx(0.0, abs=1e-12)
+
+    @given(st.lists(st.floats(min_value=0.001, max_value=1e4),
+                    min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_invariants(self, sample):
+        stats = jitter_stats(sample)
+        eps = 1e-9 * max(abs(stats.maximum), 1.0)  # fp summation slack
+        assert stats.minimum - eps <= stats.mean <= stats.maximum + eps
+        assert stats.minimum - eps <= stats.p95 <= stats.maximum + eps
+        assert stats.spread >= 0
+
+
+class TestBreakevenModel:
+    def test_paper_value_for_24_cores(self):
+        # "with 24 cores p = 4.35 %"
+        assert breakeven_io_fraction(24) == pytest.approx(4.35, abs=0.01)
+
+    def test_needs_two_cores(self):
+        with pytest.raises(ReproError):
+            breakeven_io_fraction(1)
+
+    def test_more_cores_lower_breakeven(self):
+        values = [breakeven_io_fraction(n) for n in (4, 8, 16, 32)]
+        assert values == sorted(values, reverse=True)
+
+    def test_pays_off_above_breakeven(self):
+        n = 24
+        breakeven = breakeven_io_fraction(n)
+        assert dedication_pays_off(n, breakeven + 0.5)
+        assert not dedication_pays_off(n, breakeven - 0.5)
+
+    def test_5_percent_rule(self):
+        # At the common 5 % I/O budget, 24-core nodes benefit...
+        assert dedication_pays_off(24, 5.0)
+        # ... but 12-core nodes (breakeven 9.1 %) do not.
+        assert not dedication_pays_off(12, 5.0)
+
+    def test_paper_worst_case_is_unsatisfiable(self):
+        # With W_ded = N * W_std (the paper's stated worst case) the two
+        # sides of the max() cannot both be beaten — see model docstring.
+        n = 24
+        for io in (2.0, 4.35, 5.0, 10.0, 50.0):
+            assert not dedication_pays_off(n, io, write_dilation=n)
+
+    def test_moderate_write_dilation_still_pays(self):
+        # 12-core nodes above their 9.1 % breakeven, with the dedicated
+        # core writing 2x slower than a compute core would.
+        assert dedication_pays_off(12, 10.0, write_dilation=2.0)
+
+    def test_benefit_speedup(self):
+        benefit = dedication_benefit(24, compute_seconds=100.0,
+                                     write_seconds=10.0)
+        assert benefit.pays_off
+        assert benefit.speedup > 1.0
+        assert benefit.standard_cycle == 110.0
+
+    def test_benefit_validation(self):
+        with pytest.raises(ReproError):
+            dedication_benefit(24, compute_seconds=0, write_seconds=1)
+        with pytest.raises(ReproError):
+            dedication_benefit(1, compute_seconds=1, write_seconds=1)
+
+    @given(n=st.integers(min_value=2, max_value=128),
+           io=st.floats(min_value=0.0, max_value=100.0))
+    @settings(max_examples=60, deadline=None)
+    def test_model_consistency(self, n, io):
+        """dedication_pays_off must agree with the closed-form breakeven
+        (strictly beyond a small tolerance around the threshold)."""
+        breakeven = breakeven_io_fraction(n)
+        if io > breakeven * 1.001:
+            assert dedication_pays_off(n, io)
+        elif io < breakeven * 0.999:
+            assert not dedication_pays_off(n, io)
+
+
+class TestScalabilityFactor:
+    def test_perfect_scaling(self):
+        # T_N == baseline time -> S == N.
+        assert scalability_factor(9216, 206.0, 206.0) == 9216
+
+    def test_degraded_scaling(self):
+        assert scalability_factor(1000, 100.0, 200.0) == 500.0
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            scalability_factor(100, 0.0, 10.0)
+        with pytest.raises(ReproError):
+            scalability_factor(0, 10.0, 10.0)

@@ -1,0 +1,161 @@
+"""Unit tests for the cluster hardware models."""
+
+import pytest
+
+from repro.cluster import (
+    CrossApplicationInterference,
+    Machine,
+    MachineSpec,
+    NoNoise,
+    OSNoise,
+)
+from repro.errors import SimulationError
+from repro.units import GiB, MiB
+
+
+def small_machine(**kwargs) -> Machine:
+    defaults = dict(nodes=2, cores_per_node=4, mem_bandwidth=4 * GiB,
+                    nic_bandwidth=1 * GiB)
+    defaults.update(kwargs)
+    return Machine(MachineSpec(name="test", **defaults), seed=3,
+                   completion_slack=0.0, fairness_slack=0.0)
+
+
+class TestMachineSpec:
+    def test_total_cores(self):
+        assert MachineSpec(nodes=768, cores_per_node=12).total_cores == 9216
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            MachineSpec(nodes=0)
+        with pytest.raises(SimulationError):
+            MachineSpec(cores_per_node=0)
+
+
+class TestMachineTopology:
+    def test_node_and_core_counts(self):
+        machine = small_machine()
+        assert len(machine.nodes) == 2
+        assert machine.total_cores == 8
+        assert len(machine.all_cores()) == 8
+
+    def test_core_lookup_by_global_index(self):
+        machine = small_machine()
+        core = machine.core(5)
+        assert core.node.index == 1
+        assert core.index == 1
+        assert core.global_index == 5
+
+    def test_core_lookup_out_of_range(self):
+        with pytest.raises(SimulationError):
+            small_machine().core(99)
+
+    def test_dedicated_core_partition(self):
+        machine = small_machine()
+        node = machine.nodes[0]
+        node.cores[-1].dedicated = True
+        assert len(node.compute_cores()) == 3
+        assert len(node.dedicated_cores()) == 1
+
+
+class TestMemcpyContention:
+    def test_single_copy_at_bus_speed(self):
+        machine = small_machine()
+        flow = machine.nodes[0].memcpy(4 * GiB)
+        machine.sim.run()
+        assert flow.duration == pytest.approx(1.0, rel=1e-6)
+
+    def test_concurrent_copies_share_the_bus(self):
+        machine = small_machine()
+        flows = [machine.nodes[0].memcpy(1 * GiB) for _ in range(4)]
+        machine.sim.run()
+        # 4 GiB total on a 4 GiB/s bus: all finish together at 1 s.
+        for flow in flows:
+            assert flow.duration == pytest.approx(1.0, rel=1e-6)
+
+    def test_copies_on_different_nodes_do_not_contend(self):
+        machine = small_machine()
+        flow_a = machine.nodes[0].memcpy(4 * GiB)
+        flow_b = machine.nodes[1].memcpy(4 * GiB)
+        machine.sim.run()
+        assert flow_a.duration == pytest.approx(1.0, rel=1e-6)
+        assert flow_b.duration == pytest.approx(1.0, rel=1e-6)
+
+
+class TestSend:
+    def test_inter_node_uses_nics(self):
+        machine = small_machine()
+        flow = machine.send(machine.nodes[0], machine.nodes[1], 1 * GiB)
+        machine.sim.run()
+        assert flow.duration == pytest.approx(1.0, rel=1e-6)
+
+    def test_same_node_send_is_a_memcpy(self):
+        machine = small_machine()
+        flow = machine.send(machine.nodes[0], machine.nodes[0], 4 * GiB)
+        machine.sim.run()
+        assert flow.duration == pytest.approx(1.0, rel=1e-6)
+
+    def test_fabric_limits_aggregate(self):
+        machine = Machine(
+            MachineSpec(nodes=4, cores_per_node=1, nic_bandwidth=1 * GiB,
+                        fabric_bandwidth=1 * GiB),
+            seed=0, completion_slack=0.0, fairness_slack=0.0)
+        flows = [machine.send(machine.nodes[i], machine.nodes[(i + 2) % 4],
+                              1 * GiB) for i in range(2)]
+        machine.sim.run()
+        # Two 1 GiB sends share a 1 GiB/s fabric: 2 s each.
+        for flow in flows:
+            assert flow.duration == pytest.approx(2.0, rel=1e-6)
+
+
+class TestCompute:
+    def test_compute_without_noise_is_exact(self):
+        machine = Machine(MachineSpec(nodes=1, cores_per_node=2), seed=0,
+                          noise=NoNoise())
+        core = machine.nodes[0].cores[0]
+        event = core.compute(5.0)
+        machine.sim.run()
+        assert machine.sim.now == 5.0
+        assert event.processed
+
+    def test_os_noise_dilates_compute(self):
+        machine = Machine(MachineSpec(nodes=1, cores_per_node=2), seed=1,
+                          noise=OSNoise(sigma=0.1))
+        core = machine.nodes[0].cores[0]
+        core.compute(10.0)
+        machine.sim.run()
+        assert machine.sim.now != 10.0
+        assert 8.0 < machine.sim.now < 12.5
+
+    def test_noise_is_deterministic_per_seed(self):
+        def run(seed):
+            machine = Machine(MachineSpec(nodes=1, cores_per_node=1),
+                              seed=seed, noise=OSNoise(sigma=0.05))
+            machine.nodes[0].cores[0].compute(10.0)
+            machine.sim.run()
+            return machine.sim.now
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_noise_validation(self):
+        with pytest.raises(ValueError):
+            OSNoise(sigma=-1.0)
+
+
+class TestCrossApplicationInterference:
+    def test_interference_modulates_capacity(self):
+        machine = small_machine()
+        target = machine.flows.add_capacity("shared-target", 1000.0)
+        interference = CrossApplicationInterference(
+            [target], period=1.0, mean_load=0.4)
+        interference.start(machine.sim, machine.streams)
+        machine.sim.run(until=10.0)
+        assert target.capacity < 1000.0
+        assert target.capacity > 0.0
+
+    def test_mean_load_validation(self):
+        machine = small_machine()
+        target = machine.flows.add_capacity("t", 100.0)
+        with pytest.raises(ValueError):
+            CrossApplicationInterference([target], mean_load=1.5)

@@ -1,0 +1,141 @@
+"""Tests for the Damaris XML configuration."""
+
+import pytest
+
+from repro.core import DamarisConfig
+from repro.errors import (
+    ConfigurationError,
+    UnknownEventError,
+    UnknownLayoutError,
+    UnknownVariableError,
+)
+from repro.units import MB, MiB
+
+PAPER_XML = """
+<damaris>
+  <layout name="my_layout" type="real" dimensions="64,16,2"
+          language="fortran" />
+  <variable name="my_variable" layout="my_layout" />
+  <event name="my_event" action="do_something" using="my_plugin.so"
+         scope="local" />
+</damaris>
+"""
+
+
+class TestXMLParsing:
+    def test_paper_example_parses(self):
+        config = DamarisConfig.from_xml(PAPER_XML)
+        layout = config.layout_of("my_variable")
+        assert layout.dimensions == (64, 16, 2)
+        assert layout.language == "fortran"
+        assert layout.nbytes == 64 * 16 * 2 * 4
+        action = config.action_for("my_event")
+        assert action.action == "do_something"
+        assert action.using == "my_plugin.so"
+        assert action.scope == "local"
+
+    def test_architecture_section(self):
+        config = DamarisConfig.from_xml("""
+        <damaris>
+          <architecture>
+            <buffer size="64MB" allocator="partitioned" />
+            <dedicated cores="2" />
+            <queue size="128" />
+          </architecture>
+          <layout name="l" type="int" dimensions="4" />
+          <variable name="v" layout="l" />
+        </damaris>
+        """)
+        assert config.buffer_size == 64 * MB
+        assert config.allocator == "partitioned"
+        assert config.dedicated_cores == 2
+        assert config.queue_size == 128
+
+    def test_malformed_xml(self):
+        with pytest.raises(ConfigurationError):
+            DamarisConfig.from_xml("<damaris><layout></damaris>")
+
+    def test_missing_attribute(self):
+        with pytest.raises(ConfigurationError):
+            DamarisConfig.from_xml(
+                '<damaris><layout name="l" type="int" /></damaris>')
+
+    def test_dangling_layout_reference(self):
+        with pytest.raises(UnknownLayoutError):
+            DamarisConfig.from_xml("""
+            <damaris><variable name="v" layout="ghost" /></damaris>
+            """)
+
+    def test_roundtrip_through_to_xml(self):
+        config = DamarisConfig.from_xml(PAPER_XML)
+        config.buffer_size = 32 * MiB
+        clone = DamarisConfig.from_xml(config.to_xml())
+        assert clone.buffer_size == 32 * MiB
+        assert clone.layout_of("my_variable") == config.layout_of("my_variable")
+        assert clone.action_for("my_event") == config.action_for("my_event")
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "conf.xml"
+        path.write_text(PAPER_XML)
+        config = DamarisConfig.from_file(str(path))
+        assert "my_variable" in config.variables
+
+
+class TestBuilder:
+    def test_add_and_query(self):
+        config = DamarisConfig()
+        config.add_layout("grid", "double", (10, 20))
+        config.add_variable("pressure", "grid", unit="Pa")
+        config.add_event("flush", "persist")
+        assert config.layout_of("pressure").nbytes == 10 * 20 * 8
+        assert config.variables["pressure"].unit == "Pa"
+        assert config.action_for("flush").action == "persist"
+
+    def test_duplicate_layout(self):
+        config = DamarisConfig().add_layout("l", "int", (4,))
+        with pytest.raises(ConfigurationError):
+            config.add_layout("l", "int", (8,))
+
+    def test_duplicate_variable(self):
+        config = DamarisConfig().add_layout("l", "int", (4,))
+        config.add_variable("v", "l")
+        with pytest.raises(ConfigurationError):
+            config.add_variable("v", "l")
+
+    def test_duplicate_event(self):
+        config = DamarisConfig().add_event("e", "persist")
+        with pytest.raises(ConfigurationError):
+            config.add_event("e", "persist")
+
+    def test_unknown_variable(self):
+        with pytest.raises(UnknownVariableError):
+            DamarisConfig().layout_of("nope")
+
+    def test_unknown_event(self):
+        with pytest.raises(UnknownEventError):
+            DamarisConfig().action_for("nope")
+
+    def test_invalid_scope(self):
+        with pytest.raises(ConfigurationError):
+            DamarisConfig().add_event("e", "persist", scope="universal")
+
+    def test_bytes_per_iteration(self):
+        config = DamarisConfig()
+        config.add_layout("l", "float", (100,))
+        config.add_variable("a", "l")
+        config.add_variable("b", "l")
+        assert config.bytes_per_iteration() == 800
+
+    def test_validate_rejects_bad_architecture(self):
+        config = DamarisConfig()
+        config.buffer_size = 0
+        with pytest.raises(ConfigurationError):
+            config.validate()
+        config.buffer_size = 1024
+        config.allocator = "magic"
+        with pytest.raises(ConfigurationError):
+            config.validate()
+        config.allocator = "mutex"
+        config.dedicated_cores = 0
+        with pytest.raises(ConfigurationError):
+            config.validate()

@@ -1,0 +1,193 @@
+"""Tests for the shared-memory allocators (mutex + lock-free partitioned)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Block,
+    MutexAllocator,
+    PartitionedAllocator,
+    SharedMemorySegment,
+)
+from repro.errors import ShmAllocationError
+
+
+class TestMutexAllocator:
+    def test_first_fit(self):
+        alloc = MutexAllocator(100)
+        a = alloc.allocate(40)
+        b = alloc.allocate(40)
+        assert (a.offset, a.size) == (0, 40)
+        assert (b.offset, b.size) == (40, 40)
+        assert alloc.used_bytes == 80
+        assert alloc.free_bytes == 20
+
+    def test_exhaustion_returns_none(self):
+        alloc = MutexAllocator(100)
+        assert alloc.allocate(60) is not None
+        assert alloc.allocate(60) is None
+
+    def test_oversized_request_raises(self):
+        with pytest.raises(ShmAllocationError):
+            MutexAllocator(100).allocate(101)
+
+    def test_free_and_reuse(self):
+        alloc = MutexAllocator(100)
+        a = alloc.allocate(60)
+        assert alloc.allocate(60) is None
+        alloc.free(a)
+        assert alloc.allocate(60) is not None
+
+    def test_coalescing_recovers_full_extent(self):
+        alloc = MutexAllocator(90)
+        blocks = [alloc.allocate(30) for _ in range(3)]
+        # Free out of order; extents must coalesce back to one 90-byte run.
+        alloc.free(blocks[1])
+        alloc.free(blocks[0])
+        alloc.free(blocks[2])
+        assert alloc.largest_free_extent == 90
+
+    def test_fragmentation_blocks_large_requests(self):
+        alloc = MutexAllocator(90)
+        blocks = [alloc.allocate(30) for _ in range(3)]
+        alloc.free(blocks[1])  # hole in the middle
+        assert alloc.allocate(60) is None  # 60 free but not contiguous
+        assert alloc.allocate(30) is not None
+
+    def test_double_free_detected(self):
+        alloc = MutexAllocator(100)
+        a = alloc.allocate(50)
+        alloc.free(a)
+        with pytest.raises(ShmAllocationError):
+            alloc.free(a)
+
+    def test_invalid_requests(self):
+        with pytest.raises(ShmAllocationError):
+            MutexAllocator(0)
+        with pytest.raises(ShmAllocationError):
+            MutexAllocator(10).allocate(0)
+
+    @given(st.lists(st.integers(min_value=1, max_value=50),
+                    min_size=1, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_alloc_free_all_restores_capacity(self, sizes):
+        """Property: allocate any feasible sequence, free everything in
+        interleaved order, and the allocator returns to pristine state."""
+        alloc = MutexAllocator(512)
+        held = []
+        for i, size in enumerate(sizes):
+            block = alloc.allocate(size)
+            if block is not None:
+                held.append(block)
+            if i % 3 == 2 and held:
+                alloc.free(held.pop(len(held) // 2))
+        for block in held:
+            alloc.free(block)
+        assert alloc.used_bytes == 0
+        assert alloc.largest_free_extent == 512
+
+    @given(st.lists(st.integers(min_value=1, max_value=64), min_size=1,
+                    max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_no_overlapping_blocks(self, sizes):
+        """Property: live blocks never overlap."""
+        alloc = MutexAllocator(256)
+        held = []
+        for size in sizes:
+            block = alloc.allocate(size)
+            if block is not None:
+                held.append(block)
+        intervals = sorted((b.offset, b.end) for b in held)
+        for (_, end_a), (start_b, _) in zip(intervals, intervals[1:]):
+            assert end_a <= start_b
+
+
+class TestPartitionedAllocator:
+    def test_regions_are_disjoint(self):
+        alloc = PartitionedAllocator(120, nclients=3)
+        regions = [alloc.region_of(c) for c in range(3)]
+        assert [r.offset for r in regions] == [0, 40, 80]
+        assert all(r.size == 40 for r in regions)
+
+    def test_allocation_stays_in_region(self):
+        alloc = PartitionedAllocator(120, nclients=3)
+        block = alloc.allocate(30, client=1)
+        assert 40 <= block.offset and block.end <= 80
+
+    def test_bump_allocation_is_sequential(self):
+        alloc = PartitionedAllocator(100, nclients=2)
+        a = alloc.allocate(20, client=0)
+        b = alloc.allocate(20, client=0)
+        c = alloc.allocate(10, client=0)
+        assert b.offset == a.end
+        assert c.offset == b.end
+        assert alloc.allocate(20, client=0) is None  # region (50) exhausted
+
+    def test_cursor_rewinds_only_when_arena_empty(self):
+        alloc = PartitionedAllocator(100, nclients=2)
+        a = alloc.allocate(25, client=0)
+        b = alloc.allocate(25, client=0)
+        alloc.free(a, client=0)
+        # One block still live: the bump cursor cannot rewind.
+        assert alloc.allocate(25, client=0) is None
+        alloc.free(b, client=0)
+        # Arena empty: rewound, full region available again.
+        assert alloc.allocate(50, client=0) is not None
+
+    def test_reset_after_all_freed(self):
+        alloc = PartitionedAllocator(100, nclients=2)
+        blocks = [alloc.allocate(25, client=1) for _ in range(2)]
+        assert alloc.allocate(25, client=1) is None
+        for block in blocks:
+            alloc.free(block, client=1)
+        assert alloc.allocate(25, client=1) is not None
+
+    def test_client_isolation(self):
+        alloc = PartitionedAllocator(100, nclients=2)
+        # Exhaust client 0's region; client 1 is unaffected.
+        alloc.allocate(50, client=0)
+        assert alloc.allocate(1, client=0) is None
+        assert alloc.allocate(50, client=1) is not None
+
+    def test_oversized_for_region_raises(self):
+        alloc = PartitionedAllocator(100, nclients=2)
+        with pytest.raises(ShmAllocationError):
+            alloc.allocate(51, client=0)
+
+    def test_invalid_client(self):
+        alloc = PartitionedAllocator(100, nclients=2)
+        with pytest.raises(ShmAllocationError):
+            alloc.allocate(10, client=2)
+        with pytest.raises(ShmAllocationError):
+            alloc.free(Block(0, 10), client=5)
+
+    def test_free_without_allocation_raises(self):
+        alloc = PartitionedAllocator(100, nclients=1)
+        with pytest.raises(ShmAllocationError):
+            alloc.free(Block(0, 10), client=0)
+
+    def test_too_many_clients_for_capacity(self):
+        with pytest.raises(ShmAllocationError):
+            PartitionedAllocator(3, nclients=10)
+
+
+class TestSharedMemorySegment:
+    def test_selects_allocator(self):
+        assert SharedMemorySegment(100, "mutex").allocator.name == "mutex"
+        assert SharedMemorySegment(100, "partitioned", nclients=2) \
+            .allocator.name == "partitioned"
+
+    def test_unknown_allocator(self):
+        with pytest.raises(ShmAllocationError):
+            SharedMemorySegment(100, "quantum")
+
+    def test_counters(self):
+        segment = SharedMemorySegment(100, "mutex")
+        block = segment.allocate(80)
+        assert segment.bytes_reserved == 80
+        assert segment.used_bytes == 80
+        assert segment.allocate(80) is None
+        assert segment.stalls == 1
+        segment.free(block)
+        assert segment.used_bytes == 0

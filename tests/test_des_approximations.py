@@ -1,0 +1,111 @@
+"""Tests for the flow network's bounded approximations.
+
+The paper-scale models enable two deliberate approximations:
+``completion_slack`` (batch near-simultaneous completions, ≤1 % per-flow
+timing error) and ``fairness_slack`` (freeze near-equal bottleneck levels
+together in the water-filling). These tests pin down their error bounds
+and their exactness when disabled.
+"""
+
+import numpy as np
+import pytest
+
+from repro.des import FlowNetwork, Simulator
+from repro.errors import SimulationError
+
+
+def run_flows(network, sim, specs):
+    """specs: list of (nbytes, rate_cap); returns completion times."""
+    import math
+    done = {}
+
+    def worker(index, nbytes, cap):
+        flow = network.transfer([network.link("l")], nbytes,
+                                rate_cap=cap, label=str(index))
+        yield flow.event
+        done[index] = sim.now
+
+    for index, (nbytes, cap) in enumerate(specs):
+        sim.process(worker(index, nbytes, cap))
+    sim.run()
+    return done
+
+
+class TestCompletionSlack:
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            FlowNetwork(Simulator(), completion_slack=-0.1)
+
+    def test_zero_slack_is_exact(self):
+        sim = Simulator()
+        network = FlowNetwork(sim, completion_slack=0.0)
+        network.add_capacity("l", 100.0)
+        done = run_flows(network, sim, [(100.0, 1e9), (101.0, 1e9)])
+        # Exact: the 101-byte flow finishes strictly later.
+        assert done[1] > done[0]
+
+    def test_slack_batches_near_equal_completions(self):
+        sim = Simulator()
+        network = FlowNetwork(sim, completion_slack=0.05)
+        network.add_capacity("l", 100.0)
+        done = run_flows(network, sim, [(100.0, 1e9), (101.0, 1e9)])
+        # Batched: both complete in the same tick.
+        assert done[0] == done[1]
+
+    def test_error_is_bounded_by_slack(self):
+        slack = 0.02
+        sim = Simulator()
+        network = FlowNetwork(sim, completion_slack=slack)
+        network.add_capacity("l", 100.0)
+        sizes = [(100.0 * (1 + 0.3 * k), 1e9) for k in range(8)]
+        done = run_flows(network, sim, sizes)
+        exact_total = sum(size for size, _ in sizes) / 100.0
+        assert sim.now >= exact_total * (1 - 2 * slack)
+        assert sim.now <= exact_total * (1 + 1e-9)
+        # All bytes are accounted even for short-cut completions.
+        assert network.total_bytes_moved == pytest.approx(
+            sum(size for size, _ in sizes), rel=1e-9)
+
+
+class TestFairnessSlack:
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            FlowNetwork(Simulator(), fairness_slack=-1.0)
+
+    def test_zero_slack_matches_exact_maxmin(self):
+        sim = Simulator()
+        network = FlowNetwork(sim, fairness_slack=0.0)
+        network.add_capacity("l", 100.0)
+        done = run_flows(network, sim, [(100.0, 10.0), (100.0, 1e9)])
+        assert done[0] == pytest.approx(10.0, rel=1e-6)
+        assert done[1] == pytest.approx(100.0 / 90.0, rel=1e-6)
+
+    def test_slack_preserves_capacity_conservation(self):
+        """Even with generous slack, allocated rates never exceed the
+        link capacity."""
+        sim = Simulator()
+        network = FlowNetwork(sim, fairness_slack=0.25)
+        network.add_capacity("l", 50.0)
+        for k in range(12):
+            network.transfer([network.link("l")], 100.0,
+                             rate_cap=5.0 + k)
+        sim.run(until=0.0)
+        total_rate = float(network._rate[network._active].sum())
+        assert total_rate <= 50.0 * (1 + 1e-9)
+
+    def test_slack_total_time_close_to_exact(self):
+        """Work conservation: total drain time within the slack bound."""
+        def drain(slack):
+            sim = Simulator()
+            network = FlowNetwork(sim, fairness_slack=slack)
+            network.add_capacity("l", 100.0)
+            rng = np.random.default_rng(0)
+            for size in rng.uniform(50, 150, size=20):
+                network.transfer([network.link("l")], float(size),
+                                 rate_cap=float(rng.uniform(20, 200)))
+            sim.run()
+            return sim.now
+
+        exact = drain(0.0)
+        approx = drain(0.10)
+        assert approx == pytest.approx(exact, rel=0.15)

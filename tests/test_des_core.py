@@ -1,0 +1,173 @@
+"""Unit tests for the DES kernel: Simulator, Event, Timeout."""
+
+import pytest
+
+from repro.des import Simulator
+from repro.des.core import Event, Timeout, PRIORITY_URGENT, PRIORITY_LATE
+from repro.errors import SimulationError
+
+
+class TestSimulatorClock:
+    def test_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_time_advances_with_timeouts(self):
+        sim = Simulator()
+        sim.timeout(5.0)
+        sim.run()
+        assert sim.now == 5.0
+
+    def test_run_until_stops_at_bound(self):
+        sim = Simulator()
+        sim.timeout(10.0)
+        sim.run(until=3.0)
+        assert sim.now == 3.0
+
+    def test_run_until_in_past_raises(self):
+        sim = Simulator()
+        sim.timeout(5.0)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.run(until=1.0)
+
+    def test_peek_empty_is_inf(self):
+        assert Simulator().peek() == float("inf")
+
+    def test_step_empty_raises(self):
+        with pytest.raises(SimulationError):
+            Simulator().step()
+
+    def test_events_processed_in_time_order(self):
+        sim = Simulator()
+        seen = []
+        for delay in (3.0, 1.0, 2.0):
+            sim.schedule_callback(delay, lambda d=delay: seen.append(d))
+        sim.run()
+        assert seen == [1.0, 2.0, 3.0]
+
+    def test_same_time_events_fifo(self):
+        sim = Simulator()
+        seen = []
+        for tag in range(5):
+            sim.schedule_callback(1.0, lambda t=tag: seen.append(t))
+        sim.run()
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_priority_orders_same_time_events(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_callback(1.0, lambda: seen.append("late"),
+                              priority=PRIORITY_LATE)
+        sim.schedule_callback(1.0, lambda: seen.append("normal"))
+        sim.schedule_callback(1.0, lambda: seen.append("urgent"),
+                              priority=PRIORITY_URGENT)
+        sim.run()
+        assert seen == ["urgent", "normal", "late"]
+
+    def test_not_reentrant(self):
+        sim = Simulator()
+        err = []
+
+        def nested():
+            try:
+                sim.run()
+            except SimulationError as exc:
+                err.append(exc)
+
+        sim.schedule_callback(0.0, nested)
+        sim.run()
+        assert len(err) == 1
+
+
+class TestEvent:
+    def test_succeed_carries_value(self):
+        sim = Simulator()
+        event = sim.event()
+        got = []
+        event.callbacks.append(lambda e: got.append(e.value))
+        event.succeed(42)
+        sim.run()
+        assert got == [42]
+
+    def test_double_succeed_raises(self):
+        sim = Simulator()
+        event = sim.event()
+        event.succeed(1)
+        with pytest.raises(SimulationError):
+            event.succeed(2)
+
+    def test_fail_requires_exception(self):
+        sim = Simulator()
+        with pytest.raises(TypeError):
+            sim.event().fail("not an exception")
+
+    def test_fail_undefused_crashes_simulation(self):
+        sim = Simulator()
+        sim.event().fail(ValueError("boom"))
+        with pytest.raises(ValueError, match="boom"):
+            sim.run()
+
+    def test_fail_defused_is_silent(self):
+        sim = Simulator()
+        event = sim.event()
+        event.fail(ValueError("boom"))
+        event.defuse()
+        sim.run()  # must not raise
+
+    def test_lifecycle_flags(self):
+        sim = Simulator()
+        event = sim.event()
+        assert not event.triggered and not event.processed
+        event.succeed("x")
+        assert event.triggered and not event.processed
+        sim.run()
+        assert event.processed and event.ok
+
+    def test_value_raises_on_failed_event(self):
+        sim = Simulator()
+        event = sim.event()
+        event.fail(RuntimeError("nope"))
+        event.defuse()
+        sim.run()
+        with pytest.raises(RuntimeError):
+            _ = event.value
+
+
+class TestTimeout:
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Timeout(Simulator(), -1.0)
+
+    def test_timeout_value(self):
+        sim = Simulator()
+        got = []
+
+        def proc():
+            got.append((yield sim.timeout(2.0, value="payload")))
+
+        sim.process(proc())
+        sim.run()
+        assert got == ["payload"]
+
+    def test_zero_delay_fires_now(self):
+        sim = Simulator()
+        timeout = sim.timeout(0.0)
+        sim.run()
+        assert timeout.processed and sim.now == 0.0
+
+
+class TestRunUntilComplete:
+    def test_returns_process_value(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(1.0)
+            return 99
+
+        assert sim.run_until_complete(sim.process(proc())) == 99
+
+    def test_exhausted_queue_raises(self):
+        sim = Simulator()
+        never = sim.event()
+        with pytest.raises(SimulationError):
+            sim.run_until_complete(never)

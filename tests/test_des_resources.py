@@ -1,0 +1,199 @@
+"""Unit tests for Resource / PriorityResource / Store."""
+
+import pytest
+
+from repro.des import PriorityResource, Resource, Simulator, Store
+from repro.errors import SimulationError
+
+
+class TestResource:
+    def test_capacity_validation(self):
+        with pytest.raises(SimulationError):
+            Resource(Simulator(), capacity=0)
+
+    def test_serialises_fifo(self):
+        sim = Simulator()
+        server = Resource(sim, capacity=1)
+        order = []
+
+        def client(name):
+            with server.request() as req:
+                yield req
+                yield sim.timeout(1.0)
+                order.append((name, sim.now))
+
+        for name in "abc":
+            sim.process(client(name))
+        sim.run()
+        assert order == [("a", 1.0), ("b", 2.0), ("c", 3.0)]
+
+    def test_parallel_capacity(self):
+        sim = Simulator()
+        server = Resource(sim, capacity=2)
+        order = []
+
+        def client(name):
+            with server.request() as req:
+                yield req
+                yield sim.timeout(1.0)
+                order.append((name, sim.now))
+
+        for name in "abcd":
+            sim.process(client(name))
+        sim.run()
+        assert order == [("a", 1.0), ("b", 1.0), ("c", 2.0), ("d", 2.0)]
+
+    def test_count_and_queue_length(self):
+        sim = Simulator()
+        server = Resource(sim, capacity=1)
+        server.request()
+        server.request()
+        assert server.count == 1
+        assert server.queue_length == 1
+
+    def test_release_queued_request_cancels(self):
+        sim = Simulator()
+        server = Resource(sim, capacity=1)
+        held = server.request()
+        queued = server.request()
+        server.release(queued)  # cancel while waiting
+        assert server.queue_length == 0
+        server.release(held)
+        assert server.count == 0
+
+    def test_release_unknown_request_is_noop(self):
+        sim = Simulator()
+        server = Resource(sim, capacity=1)
+        other = Resource(sim, capacity=1)
+        req = other.request()
+        server.release(req)  # not ours; must not corrupt state
+        assert server.count == 0
+
+
+class TestPriorityResource:
+    def test_lower_priority_value_served_first(self):
+        sim = Simulator()
+        server = PriorityResource(sim, capacity=1)
+        order = []
+
+        def client(name, priority, arrive):
+            yield sim.timeout(arrive)
+            req = server.request(priority=priority)
+            yield req
+            yield sim.timeout(1.0)
+            order.append(name)
+            server.release(req)
+
+        # "hog" occupies the server; "low" then "high" queue up.
+        sim.process(client("hog", 0, 0.0))
+        sim.process(client("low", 5, 0.1))
+        sim.process(client("high", 1, 0.2))
+        sim.run()
+        assert order == ["hog", "high", "low"]
+
+    def test_fifo_within_same_priority(self):
+        sim = Simulator()
+        server = PriorityResource(sim, capacity=1)
+        order = []
+
+        def client(name, arrive):
+            yield sim.timeout(arrive)
+            req = server.request(priority=3)
+            yield req
+            yield sim.timeout(1.0)
+            order.append(name)
+            server.release(req)
+
+        for i, name in enumerate("abc"):
+            sim.process(client(name, i * 0.01))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+
+class TestStore:
+    def test_put_then_get(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def producer():
+            yield store.put("item-1")
+            yield store.put("item-2")
+
+        def consumer():
+            got.append((yield store.get()))
+            got.append((yield store.get()))
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert got == ["item-1", "item-2"]
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append((sim.now, item))
+
+        def producer():
+            yield sim.timeout(4.0)
+            yield store.put("late")
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert got == [(4.0, "late")]
+
+    def test_bounded_put_blocks(self):
+        sim = Simulator()
+        store = Store(sim, capacity=1)
+        log = []
+
+        def producer():
+            yield store.put("a")
+            log.append(("put-a", sim.now))
+            yield store.put("b")  # blocks until "a" is taken
+            log.append(("put-b", sim.now))
+
+        def consumer():
+            yield sim.timeout(3.0)
+            item = yield store.get()
+            log.append(("got-" + item, sim.now))
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert ("put-a", 0.0) in log
+        assert ("put-b", 3.0) in log
+
+    def test_capacity_validation(self):
+        with pytest.raises(SimulationError):
+            Store(Simulator(), capacity=0)
+
+    def test_len(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put("x")
+        sim.run()
+        assert len(store) == 1
+
+    def test_fifo_order_many(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def producer():
+            for i in range(20):
+                yield store.put(i)
+
+        def consumer():
+            for _ in range(20):
+                got.append((yield store.get()))
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert got == list(range(20))

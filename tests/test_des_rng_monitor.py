@@ -1,0 +1,131 @@
+"""Unit tests for the RNG stream factory and the Monitor instrumentation."""
+
+import numpy as np
+import pytest
+
+from repro.des import Counter, Monitor, RandomStreams, TimeSeries
+
+
+class TestRandomStreams:
+    def test_same_seed_same_stream(self):
+        a = RandomStreams(42).stream("noise").random(5)
+        b = RandomStreams(42).stream("noise").random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_names_independent(self):
+        streams = RandomStreams(42)
+        a = streams.stream("noise").random(5)
+        b = streams.stream("interference").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_creation_order_does_not_matter(self):
+        s1 = RandomStreams(7)
+        s1.stream("a")
+        first = s1.stream("b").random(4)
+
+        s2 = RandomStreams(7)
+        second = s2.stream("b").random(4)  # "b" created first here
+        assert np.array_equal(first, second)
+
+    def test_stream_is_cached(self):
+        streams = RandomStreams(1)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_fork_changes_randomness(self):
+        base = RandomStreams(42)
+        fork = base.fork(1)
+        a = base.stream("n").random(4)
+        b = fork.stream("n").random(4)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(1).stream("n").random(4)
+        b = RandomStreams(2).stream("n").random(4)
+        assert not np.array_equal(a, b)
+
+
+class TestCounter:
+    def test_add_accumulates(self):
+        counter = Counter("bytes")
+        counter.add(10.0)
+        counter.add(5.0)
+        assert counter.value == 15.0
+        assert counter.events == 2
+
+    def test_default_increment(self):
+        counter = Counter("ops")
+        counter.add()
+        assert counter.value == 1.0
+
+
+class TestTimeSeries:
+    def test_statistics(self):
+        series = TimeSeries("t")
+        for i, value in enumerate([1.0, 3.0, 2.0]):
+            series.record(float(i), value)
+        assert series.mean() == pytest.approx(2.0)
+        assert series.max() == 3.0
+        assert series.min() == 1.0
+        assert series.total() == 6.0
+        assert len(series) == 3
+
+    def test_empty_statistics_are_zero(self):
+        series = TimeSeries("t")
+        assert series.mean() == 0.0
+        assert series.max() == 0.0
+        assert series.std() == 0.0
+
+    def test_arrays(self):
+        series = TimeSeries("t")
+        series.record(0.5, 7.0)
+        assert series.times.tolist() == [0.5]
+        assert series.values.tolist() == [7.0]
+
+
+class TestMonitor:
+    def test_counter_registry(self):
+        monitor = Monitor()
+        monitor.counter("x").add(1)
+        assert monitor.counter("x").value == 1.0
+        assert "x" in monitor.counters()
+
+    def test_series_registry(self):
+        monitor = Monitor()
+        monitor.series("y").record(0.0, 1.0)
+        assert monitor.has_series("y")
+        assert not monitor.has_series("z")
+
+    def test_series_matching_prefix(self):
+        monitor = Monitor()
+        monitor.series("node.0.write").record(0, 1)
+        monitor.series("node.1.write").record(0, 2)
+        monitor.series("other").record(0, 3)
+        matches = monitor.series_matching("node.")
+        assert [name for name, _ in matches] == ["node.0.write",
+                                                 "node.1.write"]
+
+
+class TestUnits:
+    def test_fmt_bytes(self):
+        from repro.units import MiB, fmt_bytes
+        assert fmt_bytes(24 * MiB) == "24.00 MiB"
+        assert fmt_bytes(10) == "10 B"
+        assert fmt_bytes(-24 * MiB) == "-24.00 MiB"
+
+    def test_fmt_rate(self):
+        from repro.units import GB, MB, fmt_rate
+        assert fmt_rate(4.32 * GB) == "4.32 GB/s"
+        assert fmt_rate(695 * MB) == "695.00 MB/s"
+
+    def test_fmt_time(self):
+        from repro.units import fmt_time
+        assert fmt_time(0.2) == "200.00 ms"
+        assert fmt_time(481.0) == "8m01.0s"
+        assert fmt_time(2.5e-5) == "25.00 us"
+
+    def test_parse_size(self):
+        from repro.units import parse_size, MiB, MB
+        assert parse_size("32MB") == 32 * MB
+        assert parse_size("1 MiB") == MiB
+        assert parse_size("512") == 512
+        assert parse_size("1.5kb") == 1500

@@ -1,0 +1,71 @@
+"""Determinism: every experiment is bit-for-bit reproducible per seed.
+
+The paper's measurements are statistical; ours must be *replayable* —
+same seed, same machine model, same strategy → identical timings — so
+EXPERIMENTS.md numbers are stable and regressions are detectable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.workload import CM1Workload
+from repro.experiments.harness import run_experiment
+from repro.experiments.platforms import grid5000_preset, kraken_preset
+from repro.strategies import DamarisStrategy, FilePerProcessStrategy
+
+
+def run_once(preset_factory, strategy_factory, ncores, seed):
+    preset = preset_factory()
+    machine, fs, workload = preset.build(ncores, seed=seed)
+    result = run_experiment(machine, fs, workload, strategy_factory(),
+                            write_phases=2)
+    return result
+
+
+def fingerprint(result):
+    return (
+        round(result.run_time, 9),
+        round(result.drain_time, 9),
+        tuple(round(p.duration, 9) for p in result.phases),
+        tuple(np.round(np.concatenate(
+            [p.rank_times for p in result.phases]), 9)),
+    )
+
+
+class TestExperimentDeterminism:
+    @pytest.mark.parametrize("strategy_factory", [
+        FilePerProcessStrategy, DamarisStrategy])
+    def test_same_seed_identical_results(self, strategy_factory):
+        a = fingerprint(run_once(kraken_preset, strategy_factory, 48, 7))
+        b = fingerprint(run_once(kraken_preset, strategy_factory, 48, 7))
+        assert a == b
+
+    def test_different_seed_different_results(self):
+        a = fingerprint(run_once(kraken_preset, FilePerProcessStrategy,
+                                 48, 7))
+        b = fingerprint(run_once(kraken_preset, FilePerProcessStrategy,
+                                 48, 8))
+        assert a != b
+
+    def test_grid5000_determinism(self):
+        a = fingerprint(run_once(grid5000_preset, FilePerProcessStrategy,
+                                 48, 3))
+        b = fingerprint(run_once(grid5000_preset, FilePerProcessStrategy,
+                                 48, 3))
+        assert a == b
+
+    def test_strategies_share_the_same_platform_randomness(self):
+        """The compute-side noise must not depend on the strategy: two
+        strategies at the same seed see the same interference traces
+        (stream names are position-independent)."""
+        fpp = run_once(kraken_preset, FilePerProcessStrategy, 48, 5)
+        fpp2 = run_once(kraken_preset, FilePerProcessStrategy, 48, 5)
+        assert fingerprint(fpp) == fingerprint(fpp2)
+
+
+class TestWorkloadPurity:
+    def test_workload_is_stateless_across_runs(self):
+        w1 = CM1Workload.kraken()
+        w2 = CM1Workload.kraken()
+        assert w1.bytes_per_core() == w2.bytes_per_core()
+        assert w1.compute_block_seconds() == w2.compute_block_seconds()

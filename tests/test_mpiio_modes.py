@@ -1,0 +1,161 @@
+"""Focused tests for the MPI-IO collective modes (two-phase rounds and
+direct data sieving) and offset bookkeeping."""
+
+import pytest
+
+from repro.cluster import Machine, MachineSpec, NoNoise
+from repro.errors import MPIError
+from repro.mpi import Communicator
+from repro.mpi.mpiio import (
+    CollectiveFile,
+    collective_close,
+    collective_open,
+    collective_write,
+    collective_write_direct,
+)
+from repro.storage import Lustre, MetadataSpec, PVFS, TargetSpec
+from repro.units import GiB, KiB, MiB
+
+
+def make_platform(fs_cls=Lustre, nodes=2, cores=4, ntargets=4):
+    machine = Machine(
+        MachineSpec(nodes=nodes, cores_per_node=cores,
+                    mem_bandwidth=8 * GiB, nic_bandwidth=2 * GiB),
+        seed=17, noise=NoNoise(), completion_slack=0.0, fairness_slack=0.0)
+    fs = fs_cls(machine, ntargets=ntargets,
+                target_spec=TargetSpec(straggler_sigma=0.0,
+                                       request_latency=0.0,
+                                       object_half=1e9, stream_half=1e9,
+                                       queue_depth=0),
+                metadata_spec=MetadataSpec(sigma=0.0))
+    comm = Communicator(machine, machine.all_cores())
+    return machine, fs, comm
+
+
+def run_ranks(machine, comm, rank_fn):
+    results = [None] * comm.size
+
+    def wrap(rank):
+        results[rank] = yield from rank_fn(rank)
+
+    for rank in range(comm.size):
+        machine.sim.process(wrap(rank))
+    machine.sim.run()
+    return results
+
+
+class TestTwoPhaseRounds:
+    def test_cb_buffer_validation(self):
+        machine, fs, comm = make_platform()
+
+        def prog(rank):
+            cfile = yield from collective_open(comm, rank, fs, "f")
+            yield from collective_write(cfile, rank, 1 * MiB, cb_buffer=0)
+
+        with pytest.raises(MPIError):
+            run_ranks(machine, comm, prog)
+
+    def test_small_cb_buffer_many_rounds_same_bytes(self):
+        machine, fs, comm = make_platform()
+
+        def prog(rank):
+            cfile = yield from collective_open(comm, rank, fs, "f")
+            yield from collective_write(cfile, rank, 2 * MiB,
+                                        cb_buffer=256 * KiB)
+            yield from collective_close(cfile, rank)
+
+        run_ranks(machine, comm, prog)
+        assert fs.lookup("f").size == comm.size * 2 * MiB
+        # Chunked rounds issue many requests: 2 aggregators x 8 MiB
+        # regions in 256 KiB rounds is 64 writes (x stripes touched).
+        total_requests = sum(t.requests_served for t in fs.targets)
+        assert total_requests >= 64
+
+    def test_offsets_accumulate_across_phases(self):
+        machine, fs, comm = make_platform()
+        sizes = [1 * MiB, 3 * MiB, 2 * MiB]
+
+        def prog(rank):
+            cfile = yield from collective_open(comm, rank, fs, "f")
+            for size in sizes:
+                yield from collective_write(cfile, rank, size)
+            yield from collective_close(cfile, rank)
+            return cfile
+
+        results = run_ranks(machine, comm, prog)
+        cfile = results[0]
+        assert cfile.offset_of_phase(0) == 0
+        assert cfile.offset_of_phase(1) == comm.size * 1 * MiB
+        assert cfile.offset_of_phase(2) == comm.size * 4 * MiB
+        assert fs.lookup("f").size == comm.size * 6 * MiB
+
+    def test_aggregator_mapping_covers_all_ranks(self):
+        machine, fs, comm = make_platform(nodes=3, cores=4)
+
+        def prog(rank):
+            cfile = yield from collective_open(comm, rank, fs, "f")
+            yield from collective_close(cfile, rank)
+            return cfile
+
+        cfile = run_ranks(machine, comm, prog)[0]
+        assert len(cfile.aggregators) == 3  # one per node
+        for rank in range(comm.size):
+            assert cfile.aggregator_of(rank) in cfile.aggregators
+
+
+class TestDirectMode:
+    def test_direct_needs_all_ranks_open(self):
+        machine, fs, comm = make_platform(fs_cls=PVFS)
+
+        def prog(rank):
+            cfile = yield from collective_open(comm, rank, fs, "f")
+            yield from collective_write_direct(cfile, rank, 1 * MiB)
+
+        with pytest.raises(MPIError):
+            run_ranks(machine, comm, prog)
+
+    def test_direct_every_rank_writes_its_region(self):
+        machine, fs, comm = make_platform(fs_cls=PVFS)
+
+        def prog(rank):
+            cfile = yield from collective_open(comm, rank, fs, "f",
+                                               all_ranks_write=True)
+            yield from collective_write_direct(cfile, rank, 1 * MiB)
+            yield from collective_close(cfile, rank)
+
+        run_ranks(machine, comm, prog)
+        assert fs.lookup("f").size == comm.size * 1 * MiB
+        assert fs.bytes_written == comm.size * 1 * MiB
+
+    def test_sieve_validation(self):
+        machine, fs, comm = make_platform(fs_cls=PVFS)
+
+        def prog(rank):
+            cfile = yield from collective_open(comm, rank, fs, "f",
+                                               all_ranks_write=True)
+            yield from collective_write_direct(cfile, rank, 1 * MiB,
+                                               sieve_buffer=0)
+
+        with pytest.raises(MPIError):
+            run_ranks(machine, comm, prog)
+
+    def test_smaller_sieve_is_slower(self):
+        """Data sieving granularity caps the per-stream rate (visible
+        when the stream is not already bandwidth-share-limited)."""
+        durations = {}
+        for sieve in (64 * KiB, 16 * MiB):
+            machine, fs, comm = make_platform(fs_cls=PVFS, nodes=1,
+                                              cores=1)
+
+            def prog(rank, sieve=sieve):
+                cfile = yield from collective_open(comm, rank, fs, "f",
+                                                   all_ranks_write=True)
+                yield from collective_write_direct(cfile, rank, 4 * MiB,
+                                                   sieve_buffer=sieve)
+                yield from collective_close(cfile, rank)
+
+            run_ranks(machine, comm, prog)
+            durations[sieve] = machine.sim.now
+        assert durations[64 * KiB] > durations[16 * MiB]
+
+

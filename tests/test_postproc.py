@@ -1,0 +1,108 @@
+"""Tests for the offline post-processing pipeline (runtime -> catalog ->
+reassembly -> diagnostics)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.cm1 import MiniCM1
+from repro.apps.postproc import (
+    OutputCatalog,
+    StormDiagnostics,
+    assemble_global,
+    load_iteration,
+    storm_time_series,
+)
+from repro.core import DamarisConfig
+from repro.errors import FormatError
+from repro.runtime import DamarisRuntime
+from repro.units import MiB
+
+
+@pytest.fixture
+def storm_output(tmp_path):
+    """Run a small storm through the real runtime; return (dir, model)."""
+    model = MiniCM1(16, 16, 8, seed=5)
+    clients = 4
+    config = DamarisConfig()
+    config.add_layout("sub", "float", (16 // clients, 16, 8))
+    config.add_variable("w", "sub")
+    config.add_variable("theta", "sub")
+    config.add_event("end_iteration", "persist")
+    config.buffer_size = 16 * MiB
+    runtime = DamarisRuntime(config, output_dir=str(tmp_path), nodes=2,
+                             clients_per_node=clients // 2)
+    snapshots = []
+    for iteration in range(3):
+        model.step(4)
+        snapshots.append({name: f.copy()
+                          for name, f in model.variables().items()})
+        for client in runtime.clients:
+            fields = model.subdomain(client.rank, clients, 1)
+            client.df_write("w", iteration,
+                            np.ascontiguousarray(fields["w"]))
+            client.df_write("theta", iteration,
+                            np.ascontiguousarray(fields["theta"]))
+            client.df_signal("end_iteration", iteration)
+    runtime.shutdown()
+    return str(tmp_path), snapshots
+
+
+class TestCatalog:
+    def test_scan_finds_all_iterations(self, storm_output):
+        root, _ = storm_output
+        catalog = OutputCatalog.scan(root)
+        assert catalog.iterations == [0, 1, 2]
+        # 2 nodes per iteration.
+        assert all(len(catalog.files(i)) == 2 for i in range(3))
+
+    def test_scan_missing_dir(self):
+        with pytest.raises(FormatError):
+            OutputCatalog.scan("/definitely/not/here")
+
+    def test_missing_iteration(self, storm_output):
+        root, _ = storm_output
+        with pytest.raises(FormatError):
+            OutputCatalog.scan(root).files(99)
+
+
+class TestReassembly:
+    def test_global_field_matches_source(self, storm_output):
+        root, snapshots = storm_output
+        catalog = OutputCatalog.scan(root)
+        for iteration in range(3):
+            pieces = load_iteration(catalog, iteration, "w")
+            assert sorted(pieces) == [0, 1, 2, 3]
+            whole = assemble_global(pieces, axis=0)
+            assert np.array_equal(whole, snapshots[iteration]["w"])
+
+    def test_unknown_variable(self, storm_output):
+        root, _ = storm_output
+        catalog = OutputCatalog.scan(root)
+        with pytest.raises(FormatError):
+            load_iteration(catalog, 0, "nope")
+
+    def test_assemble_empty(self):
+        with pytest.raises(FormatError):
+            assemble_global({})
+
+
+class TestDiagnostics:
+    def test_compute(self):
+        w = np.zeros((4, 4, 4), dtype=np.float32)
+        w[0, 0, 0] = 3.0
+        theta = np.full((4, 4, 4), -2.0, dtype=np.float32)
+        diag = StormDiagnostics.compute(7, w, theta)
+        assert diag.iteration == 7
+        assert diag.max_updraft == 3.0
+        assert diag.max_theta_perturbation == 2.0
+        assert diag.updraft_volume_fraction == pytest.approx(1 / 64)
+
+    def test_time_series_end_to_end(self, storm_output):
+        root, snapshots = storm_output
+        series = storm_time_series(root)
+        assert [d.iteration for d in series] == [0, 1, 2]
+        # The storm intensifies: peak updraft grows over the series.
+        assert series[-1].max_updraft > series[0].max_updraft
+        for diag, snapshot in zip(series, snapshots):
+            assert diag.max_updraft == pytest.approx(
+                float(snapshot["w"].max()))

@@ -1,0 +1,254 @@
+"""Tests for the real threaded Damaris runtime (real files, real codecs)."""
+
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import DamarisConfig
+from repro.core.shm import Block
+from repro.errors import (
+    PluginError,
+    ReproError,
+    ShmAllocationError,
+)
+from repro.formats import SHDFReader
+from repro.runtime import DamarisRuntime
+from repro.runtime.shmem import RuntimeBuffer
+from repro.runtime.events import RuntimeQueue
+from repro.units import MiB
+
+
+def make_config(action="persist", allocator="mutex", buffer_mib=32):
+    config = DamarisConfig()
+    config.add_layout("grid", "float", (16, 16, 8))
+    config.add_variable("theta", "grid")
+    config.add_variable("qv", "grid")
+    config.add_event("end_iteration", action)
+    config.buffer_size = buffer_mib * MiB
+    config.allocator = allocator
+    return config
+
+
+def field(seed=0):
+    """A smooth, partially-zero field (CM1-like compressibility)."""
+    rng = np.random.default_rng(seed)
+    x = np.linspace(0, np.pi, 16, dtype=np.float32)
+    base = np.sin(x)[:, None, None] * np.cos(x)[None, :, None]
+    out = (base * np.ones((16, 16, 8), dtype=np.float32)).copy()
+    out[np.abs(out) < 0.3] = 0.0
+    out[:4, :4] += rng.normal(0, 0.01, (4, 4, 8)).astype(np.float32)
+    return out
+
+
+class TestRuntimeBuffer:
+    def test_allocate_write_read_roundtrip(self):
+        buffer = RuntimeBuffer(1 * MiB)
+        data = np.arange(64, dtype=np.float32)
+        block = buffer.allocate(data.nbytes)
+        buffer.write_array(block, data)
+        back = buffer.read_array(block, np.float32, (64,))
+        assert np.array_equal(back, data)
+
+    def test_view_is_live(self):
+        buffer = RuntimeBuffer(1 * MiB)
+        block = buffer.allocate(16)
+        view = buffer.view(block, np.float32, (4,))
+        view[:] = 7.0
+        assert np.all(buffer.read_array(block, np.float32, (4,)) == 7.0)
+
+    def test_wrong_size_rejected(self):
+        buffer = RuntimeBuffer(1 * MiB)
+        block = buffer.allocate(16)
+        with pytest.raises(ShmAllocationError):
+            buffer.write_array(block, np.zeros(100, dtype=np.float64))
+
+    def test_blocking_allocation_times_out(self):
+        buffer = RuntimeBuffer(64)
+        buffer.allocate(64)
+        with pytest.raises(ShmAllocationError):
+            buffer.allocate(64, timeout=0.05)
+
+    def test_blocked_allocation_wakes_on_free(self):
+        buffer = RuntimeBuffer(64)
+        first = buffer.allocate(64)
+        got = []
+
+        def blocked():
+            got.append(buffer.allocate(64, timeout=5.0))
+
+        thread = threading.Thread(target=blocked)
+        thread.start()
+        buffer.free(first)
+        thread.join(timeout=5.0)
+        assert got and got[0].size == 64
+        assert buffer.stalls >= 1
+
+
+class TestRuntimeQueue:
+    def test_fifo(self):
+        queue = RuntimeQueue()
+        queue.put("a")
+        queue.put("b")
+        assert queue.get() == "a"
+        assert queue.get() == "b"
+
+    def test_get_timeout_returns_none(self):
+        assert RuntimeQueue().get(timeout=0.05) is None
+
+    def test_closed_queue_drains(self):
+        queue = RuntimeQueue()
+        queue.put("x")
+        queue.close()
+        assert queue.get(timeout=0.1) == "x" or queue.get(timeout=0.1) is None
+
+
+class TestRuntimeEndToEnd:
+    def test_persist_roundtrip(self, tmp_path):
+        config = make_config()
+        runtime = DamarisRuntime(config, output_dir=str(tmp_path),
+                                 nodes=2, clients_per_node=2)
+        data = {c.rank: field(c.rank) for c in runtime.clients}
+        for iteration in range(2):
+            for client in runtime.clients:
+                client.df_write("theta", iteration, data[client.rank])
+                client.df_signal("end_iteration", iteration)
+        runtime.shutdown()
+
+        files = runtime.output_files()
+        assert len(files) == 4  # 2 nodes x 2 iterations
+        with SHDFReader(files[0]) as reader:
+            names = reader.datasets
+            assert len(names) == 2  # 2 clients on the node
+            array = reader.read_dataset(names[0])
+            source = reader.dataset_attrs(names[0])["source"]
+            assert np.allclose(array, data[source])
+
+    def test_compression_reduces_stored_bytes(self, tmp_path):
+        config = make_config(action="compress")
+        with DamarisRuntime(config, output_dir=str(tmp_path),
+                            nodes=1, clients_per_node=2) as runtime:
+            for client in runtime.clients:
+                client.df_write("theta", 0, field(1))
+                client.df_signal("end_iteration", 0)
+        totals = runtime.total_bytes()
+        assert totals["stored"] < totals["raw"]
+        assert runtime.compression_ratio_percent() > 100.0
+
+    def test_precision16_pipeline(self, tmp_path):
+        config = make_config(action="compress16")
+        with DamarisRuntime(config, output_dir=str(tmp_path),
+                            nodes=1, clients_per_node=1) as runtime:
+            runtime.clients[0].df_write("theta", 0, field(2))
+            runtime.clients[0].df_signal("end_iteration", 0)
+        assert runtime.compression_ratio_percent() > 300.0
+        with SHDFReader(runtime.output_files()[0]) as reader:
+            back = reader.read_dataset(reader.datasets[0])
+            assert np.allclose(back, field(2), atol=5e-3)
+
+    def test_zero_copy_dc_alloc_commit(self, tmp_path):
+        config = make_config()
+        with DamarisRuntime(config, output_dir=str(tmp_path),
+                            nodes=1, clients_per_node=1) as runtime:
+            client = runtime.clients[0]
+            window = client.dc_alloc("theta", 0)
+            window[:] = 3.25  # the simulation computes in place
+            client.dc_commit("theta", 0)
+            client.df_signal("end_iteration", 0)
+        with SHDFReader(runtime.output_files()[0]) as reader:
+            assert np.all(reader.read_dataset(reader.datasets[0]) == 3.25)
+
+    def test_dc_commit_without_alloc(self, tmp_path):
+        config = make_config()
+        with DamarisRuntime(config, output_dir=str(tmp_path)) as runtime:
+            with pytest.raises(ShmAllocationError):
+                runtime.clients[0].dc_commit("theta", 0)
+
+    def test_finalize_with_pending_alloc_raises(self, tmp_path):
+        config = make_config()
+        runtime = DamarisRuntime(config, output_dir=str(tmp_path))
+        runtime.clients[0].dc_alloc("theta", 0)
+        with pytest.raises(ReproError):
+            runtime.clients[0].df_finalize()
+        runtime.clients[0].dc_commit("theta", 0)
+        runtime.shutdown()
+
+    def test_layout_mismatch_rejected(self, tmp_path):
+        config = make_config()
+        with DamarisRuntime(config, output_dir=str(tmp_path)) as runtime:
+            with pytest.raises(ReproError):
+                runtime.clients[0].df_write(
+                    "theta", 0, np.zeros((4, 4), dtype=np.float32))
+
+    def test_statistics_action(self, tmp_path):
+        config = make_config(action="statistics")
+        with DamarisRuntime(config, output_dir=str(tmp_path),
+                            nodes=1, clients_per_node=1) as runtime:
+            runtime.clients[0].df_write("theta", 0, field(3))
+            runtime.clients[0].df_signal("end_iteration", 0)
+        server = runtime.servers[0]
+        assert server.last_statistics
+        (low, high, mean), = server.last_statistics.values()
+        assert low <= mean <= high
+
+    def test_custom_action(self, tmp_path):
+        seen = []
+
+        def my_action(context):
+            for entry in context.entries:
+                seen.append((entry.name, float(context.array_of(entry).sum())))
+            context.server._release(context.event.iteration)
+
+        config = make_config()
+        config.add_event("my_event", "do_something")
+        with DamarisRuntime(config, output_dir=str(tmp_path),
+                            nodes=1, clients_per_node=1,
+                            actions={"do_something": my_action}) as runtime:
+            runtime.clients[0].df_write("theta", 0,
+                                        np.ones((16, 16, 8), np.float32))
+            runtime.clients[0].df_signal("my_event", 0)
+        assert seen == [("theta", 16.0 * 16 * 8)]
+
+    def test_unknown_action_surfaces(self, tmp_path):
+        config = make_config()
+        config.add_event("bad", "no_such_action")
+        runtime = DamarisRuntime(config, output_dir=str(tmp_path),
+                                 nodes=1, clients_per_node=1)
+        runtime.clients[0].df_write("theta", 0, field(0))
+        runtime.clients[0].df_signal("bad", 0)
+        with pytest.raises(PluginError):
+            runtime.shutdown()
+
+    def test_partitioned_allocator(self, tmp_path):
+        config = make_config(allocator="partitioned")
+        with DamarisRuntime(config, output_dir=str(tmp_path),
+                            nodes=1, clients_per_node=2) as runtime:
+            for client in runtime.clients:
+                client.df_write("theta", 0, field(client.rank))
+                client.df_signal("end_iteration", 0)
+        assert len(runtime.output_files()) == 1
+
+    def test_overlap_accounting(self, tmp_path):
+        """Client-visible write time must be far below the server's."""
+        config = make_config(action="compress")
+        with DamarisRuntime(config, output_dir=str(tmp_path),
+                            nodes=1, clients_per_node=2) as runtime:
+            for iteration in range(3):
+                for client in runtime.clients:
+                    client.df_write("theta", iteration, field(iteration))
+                    client.df_write("qv", iteration, field(iteration + 7))
+                    client.df_signal("end_iteration", iteration)
+        assert runtime.server_write_seconds() > 0
+        assert runtime.client_write_seconds() < \
+            5 * runtime.server_write_seconds()
+
+    def test_flush_on_shutdown_without_signal(self, tmp_path):
+        """Buffered but unsignalled data is flushed at finalize."""
+        config = make_config()
+        runtime = DamarisRuntime(config, output_dir=str(tmp_path),
+                                 nodes=1, clients_per_node=1)
+        runtime.clients[0].df_write("theta", 5, field(4))
+        runtime.shutdown()
+        assert len(runtime.output_files()) == 1
+        assert "iter000005" in runtime.output_files()[0]

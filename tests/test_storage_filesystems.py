@@ -1,0 +1,282 @@
+"""Integration tests for the Lustre / PVFS / GPFS models."""
+
+import pytest
+
+from repro.cluster import Machine, MachineSpec
+from repro.errors import (
+    FileExistsInFSError,
+    FileNotFoundInFSError,
+    StorageError,
+)
+from repro.storage import GPFS, Lustre, PVFS, MetadataSpec, TargetSpec
+from repro.units import GiB, MiB
+
+
+def make_machine(nodes=2, cores=4):
+    return Machine(MachineSpec(nodes=nodes, cores_per_node=cores,
+                               mem_bandwidth=8 * GiB, nic_bandwidth=2 * GiB),
+                   seed=11, completion_slack=0.0, fairness_slack=0.0)
+
+
+def quiet_target_spec(**kwargs):
+    defaults = dict(straggler_sigma=0.0, request_latency=0.0,
+                    object_half=1e9, stream_half=1e9)
+    defaults.update(kwargs)
+    return TargetSpec(**defaults)
+
+
+def run_process(machine, generator):
+    return machine.sim.run_until_complete(machine.sim.process(generator))
+
+
+class TestNamespace:
+    def test_create_open_close_write(self):
+        machine = make_machine()
+        fs = Lustre(machine, ntargets=4, target_spec=quiet_target_spec())
+        node = machine.nodes[0]
+
+        def scenario():
+            handle = yield machine.sim.process(fs.create(node, "a/b.h5"))
+            written = yield machine.sim.process(fs.write(handle, 0, 8 * MiB))
+            yield machine.sim.process(fs.close(handle))
+            return written
+
+        assert run_process(machine, scenario()) == 8 * MiB
+        assert fs.exists("a/b.h5")
+        assert fs.lookup("a/b.h5").size == 8 * MiB
+        assert fs.file_count == 1
+        assert fs.files_created == 1
+
+    def test_create_duplicate_raises(self):
+        machine = make_machine()
+        fs = Lustre(machine, ntargets=2, target_spec=quiet_target_spec())
+        node = machine.nodes[0]
+
+        def scenario():
+            yield machine.sim.process(fs.create(node, "x"))
+            yield machine.sim.process(fs.create(node, "x"))
+
+        with pytest.raises(FileExistsInFSError):
+            run_process(machine, scenario())
+
+    def test_open_missing_raises(self):
+        machine = make_machine()
+        fs = Lustre(machine, ntargets=2, target_spec=quiet_target_spec())
+
+        def scenario():
+            yield machine.sim.process(fs.open(machine.nodes[0], "missing"))
+
+        with pytest.raises(FileNotFoundInFSError):
+            run_process(machine, scenario())
+
+    def test_double_close_raises(self):
+        machine = make_machine()
+        fs = Lustre(machine, ntargets=2, target_spec=quiet_target_spec())
+        node = machine.nodes[0]
+
+        def scenario():
+            handle = yield machine.sim.process(fs.create(node, "f"))
+            yield machine.sim.process(fs.close(handle))
+            yield machine.sim.process(fs.close(handle))
+
+        with pytest.raises(StorageError):
+            run_process(machine, scenario())
+
+    def test_write_on_closed_handle_raises(self):
+        machine = make_machine()
+        fs = Lustre(machine, ntargets=2, target_spec=quiet_target_spec())
+        node = machine.nodes[0]
+
+        def scenario():
+            handle = yield machine.sim.process(fs.create(node, "f"))
+            yield machine.sim.process(fs.close(handle))
+            yield machine.sim.process(fs.write(handle, 0, 1024))
+
+        with pytest.raises(StorageError):
+            run_process(machine, scenario())
+
+    def test_unlink(self):
+        machine = make_machine()
+        fs = Lustre(machine, ntargets=2, target_spec=quiet_target_spec())
+        node = machine.nodes[0]
+
+        def scenario():
+            handle = yield machine.sim.process(fs.create(node, "gone"))
+            yield machine.sim.process(fs.close(handle))
+            yield machine.sim.process(fs.unlink("gone"))
+
+        run_process(machine, scenario())
+        assert not fs.exists("gone")
+
+
+class TestStripingBalance:
+    def test_write_spreads_over_stripe_targets(self):
+        machine = make_machine()
+        fs = Lustre(machine, ntargets=8, target_spec=quiet_target_spec(),
+                    default_stripe_count=4, default_stripe_size=1 * MiB)
+        node = machine.nodes[0]
+
+        def scenario():
+            handle = yield machine.sim.process(fs.create(node, "f"))
+            yield machine.sim.process(fs.write(handle, 0, 64 * MiB))
+            yield machine.sim.process(fs.close(handle))
+
+        run_process(machine, scenario())
+        balance = fs.target_balance()
+        used = [b for b in balance if b > 0]
+        assert len(used) == 4
+        assert max(used) == min(used)
+
+    def test_files_rotate_first_target(self):
+        machine = make_machine()
+        fs = Lustre(machine, ntargets=8, target_spec=quiet_target_spec(),
+                    default_stripe_count=2)
+        node = machine.nodes[0]
+
+        def scenario():
+            for i in range(4):
+                handle = yield machine.sim.process(fs.create(node, f"f{i}"))
+                yield machine.sim.process(fs.write(handle, 0, 4 * MiB))
+                yield machine.sim.process(fs.close(handle))
+
+        run_process(machine, scenario())
+        assert all(b > 0 for b in fs.target_balance())
+
+
+class TestMetadataSerialisation:
+    def test_lustre_single_mds_serialises_creates(self):
+        machine = make_machine(nodes=4, cores=4)
+        spec = MetadataSpec(create=10e-3, sigma=0.0, concurrency=1)
+        fs = Lustre(machine, ntargets=4, target_spec=quiet_target_spec(),
+                    metadata_spec=spec)
+        finished = []
+
+        def creator(i):
+            node = machine.nodes[i % 4]
+            yield machine.sim.process(fs.create(node, f"file-{i}"))
+            finished.append(machine.sim.now)
+
+        for i in range(20):
+            machine.sim.process(creator(i))
+        machine.sim.run()
+        # 20 creates at 10 ms through one queue: last finishes near 200 ms.
+        assert max(finished) == pytest.approx(0.2, rel=0.05)
+
+    def test_pvfs_distributes_creates(self):
+        machine = make_machine(nodes=4, cores=4)
+        spec = MetadataSpec(create=10e-3, sigma=0.0, concurrency=1)
+        fs = PVFS(machine, ntargets=5, target_spec=quiet_target_spec(),
+                  metadata_spec=spec)
+        finished = []
+
+        def creator(i):
+            node = machine.nodes[i % 4]
+            yield machine.sim.process(fs.create(node, f"file-{i}"))
+            finished.append(machine.sim.now)
+
+        for i in range(20):
+            machine.sim.process(creator(i))
+        machine.sim.run()
+        # Hashed over 5 metadata servers: much faster than serialised.
+        assert max(finished) < 0.15
+
+    def test_pvfs_has_no_locks(self):
+        machine = make_machine()
+        fs = PVFS(machine, ntargets=3, target_spec=quiet_target_spec())
+        assert fs.locks is None
+
+    def test_gpfs_has_locks_and_few_targets(self):
+        machine = make_machine()
+        fs = GPFS(machine, ntargets=2, target_spec=quiet_target_spec())
+        assert fs.locks is not None
+        assert len(fs.targets) == 2
+
+
+class TestSharedFileLocking:
+    def test_shared_writers_to_same_stripe_pay_revocations(self):
+        machine = make_machine()
+        fs = Lustre(machine, ntargets=2, target_spec=quiet_target_spec(),
+                    default_stripe_size=64 * MiB, default_stripe_count=1)
+        nodes = machine.nodes
+
+        def writers():
+            handle_a = yield machine.sim.process(fs.create(nodes[0], "shared"))
+            handle_b = yield machine.sim.process(fs.open(nodes[1], "shared"))
+
+            def write_with(handle, offset):
+                yield machine.sim.process(fs.write(handle, offset, 1 * MiB))
+
+            proc_a = machine.sim.process(write_with(handle_a, 0))
+            proc_b = machine.sim.process(write_with(handle_b, 2 * MiB))
+            yield proc_a
+            yield proc_b
+
+        run_process(machine, writers())
+        # Both writes hit stripe 0 (64 MiB stripes): one revocation.
+        assert fs.locks.revocations >= 1
+
+    def test_exclusive_file_pays_no_lock_overhead(self):
+        machine = make_machine()
+        fs = Lustre(machine, ntargets=2, target_spec=quiet_target_spec(),
+                    default_stripe_size=1 * MiB)
+        node = machine.nodes[0]
+
+        def scenario():
+            handle = yield machine.sim.process(fs.create(node, "solo"))
+            yield machine.sim.process(fs.write(handle, 0, 16 * MiB))
+            yield machine.sim.process(fs.close(handle))
+
+        run_process(machine, scenario())
+        assert fs.locks.acquisitions == 0
+
+
+class TestExpansiveLocks:
+    def test_object_grant_conflicts_and_flushes(self):
+        from repro.storage.locks import ExtentLockManager
+        machine = make_machine()
+        locks = ExtentLockManager(machine, revoke_latency=1e-3,
+                                  flush_bandwidth=10e6, expansive=True)
+
+        def scenario():
+            # Owner 1 writes 10 MB to target 0; owner 2 then conflicts and
+            # must wait for the 1 s flush plus the revoke round-trip.
+            yield from locks.acquire_expansive(0, owner=1,
+                                               target_bytes={0: 10e6})
+            start = machine.sim.now
+            yield from locks.acquire_expansive(0, owner=2,
+                                               target_bytes={0: 1e6})
+            return machine.sim.now - start
+
+        elapsed = run_process(machine, scenario())
+        assert elapsed == pytest.approx(1.001, rel=1e-3)
+        assert locks.revocations == 1
+
+    def test_same_owner_never_conflicts(self):
+        from repro.storage.locks import ExtentLockManager
+        machine = make_machine()
+        locks = ExtentLockManager(machine, expansive=True)
+
+        def scenario():
+            for _ in range(5):
+                yield from locks.acquire_expansive(0, owner=1,
+                                                   target_bytes={0: 1e6,
+                                                                 1: 1e6})
+            return machine.sim.now
+
+        assert run_process(machine, scenario()) == 0.0
+        assert locks.revocations == 0
+
+
+class TestRead:
+    def test_read_returns_bytes(self):
+        machine = make_machine()
+        fs = Lustre(machine, ntargets=4, target_spec=quiet_target_spec())
+        node = machine.nodes[0]
+
+        def scenario():
+            handle = yield machine.sim.process(fs.create(node, "f"))
+            yield machine.sim.process(fs.write(handle, 0, 8 * MiB))
+            got = yield machine.sim.process(fs.read(handle, 0, 8 * MiB))
+            return got
+
+        assert run_process(machine, scenario()) == 8 * MiB
