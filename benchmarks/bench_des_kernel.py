@@ -1,0 +1,164 @@
+"""DES kernel microbenchmarks with a machine-readable baseline.
+
+Three scenarios exercise the simulator's hot paths:
+
+- ``flow_storm``: a 4096-flow barrier-synchronised write storm (12
+  writers per NIC, 336 storage targets with slightly staggered
+  capacities) — dominated by ``FlowNetwork._maxmin_rates``;
+- ``heap_churn``: 2000 staggered short flows through one shared link —
+  dominated by event-heap traffic and completion-tick scheduling;
+- ``fig2_sweep``: the full Fig. 2 driver in ``REPRO_FAST`` mode —
+  the end-to-end pipeline a paper figure actually pays for.
+
+Run directly (not via pytest) to (re)produce the JSON baseline::
+
+    PYTHONPATH=src python benchmarks/bench_des_kernel.py            # full
+    PYTHONPATH=src python benchmarks/bench_des_kernel.py --smoke    # CI
+
+The full run writes ``benchmarks/BENCH_des_kernel.json`` with wall
+times and scenario invariants (completed flows, bytes moved, final
+simulated clock) so later PRs can regress against both speed and
+results. ``--smoke`` shrinks every scenario and does **not** overwrite
+the committed baseline; it only checks the invariants still hold.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+BASELINE_PATH = os.path.join(os.path.dirname(__file__),
+                             "BENCH_des_kernel.json")
+
+
+def bench_flow_storm(nflows: int = 4096):
+    """Barrier storm: every writer starts at t=0, 12 per NIC, striped
+    over 336 staggered-capacity targets."""
+    from repro.des import Simulator
+    from repro.des.bandwidth import FlowNetwork
+
+    sim = Simulator()
+    net = FlowNetwork(sim)
+    nnodes = (nflows + 11) // 12
+    nics = [net.add_capacity(f"nic{i}", 1.6e9) for i in range(nnodes)]
+    tgts = [net.add_capacity(f"ost{j}", 45e6 * (1 + 1e-3 * j))
+            for j in range(336)]
+    t0 = time.perf_counter()
+    for i in range(nflows):
+        net.transfer([nics[i // 12], tgts[(i // 12) % 336]], 9e6)
+    sim.run()
+    elapsed = time.perf_counter() - t0
+    return {
+        "wall_s": round(elapsed, 3),
+        "flows": nflows,
+        "completed": net.completed_flows,
+        "bytes_moved": net.total_bytes_moved,
+        "sim_time": sim.now,
+    }
+
+
+def bench_heap_churn(nflows: int = 2000):
+    """Staggered arrivals through one shared link: stresses the event
+    heap and the reschedulable completion tick (each arrival used to
+    leak one stale tick event into the heap)."""
+    from repro.des import Simulator
+    from repro.des.bandwidth import FlowNetwork
+
+    sim = Simulator()
+    net = FlowNetwork(sim)
+    link = net.add_capacity("link", 1e9)
+    peak = [0]
+    started = [0]
+
+    def arrive():
+        started[0] += 1
+        net.transfer([link], 5e5)
+        if started[0] < nflows:
+            # Chain the next arrival so the heap holds only live events:
+            # any growth beyond a handful is completion-tick leakage.
+            sim.schedule_callback(1e-4, arrive)
+        peak[0] = max(peak[0], len(sim._heap))
+
+    t0 = time.perf_counter()
+    sim.schedule_callback(0.0, arrive)
+    sim.run()
+    elapsed = time.perf_counter() - t0
+    return {
+        "wall_s": round(elapsed, 3),
+        "flows": nflows,
+        "completed": net.completed_flows,
+        "bytes_moved": net.total_bytes_moved,
+        "sim_time": sim.now,
+        "peak_heap": peak[0],
+    }
+
+
+def bench_fig2_sweep():
+    """The Fig. 2 driver end-to-end in fast mode (trimmed scales)."""
+    os.environ["REPRO_FAST"] = "1"
+    from repro.experiments import figures
+
+    t0 = time.perf_counter()
+    report = figures.fig2_write_phase_kraken()
+    elapsed = time.perf_counter() - t0
+    return {
+        "wall_s": round(elapsed, 3),
+        "rows": len(report.rows),
+        "scales": list(figures.kraken_scales()),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="shrunken scenarios; check invariants only, "
+                             "do not rewrite the baseline")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        results = {
+            "flow_storm": bench_flow_storm(nflows=512),
+            "heap_churn": bench_heap_churn(nflows=200),
+        }
+    else:
+        results = {
+            "flow_storm": bench_flow_storm(),
+            "heap_churn": bench_heap_churn(),
+            "fig2_sweep": bench_fig2_sweep(),
+        }
+
+    for name, result in results.items():
+        print(f"{name}: {json.dumps(result)}")
+
+    # Invariants: every flow completes, the residual heap is tiny (the
+    # reschedulable tick must not leak one event per recompute).
+    storm = results["flow_storm"]
+    assert storm["completed"] == storm["flows"], "storm flows lost"
+    churn = results["heap_churn"]
+    assert churn["completed"] == churn["flows"], "churn flows lost"
+    assert churn["peak_heap"] <= 32, (
+        f"completion-tick leak: peak heap size {churn['peak_heap']} "
+        f"during chained arrivals (expected a handful of live events)")
+
+    if not args.smoke:
+        payload = {
+            "bench": "des_kernel",
+            "command": "PYTHONPATH=src python benchmarks/bench_des_kernel.py",
+            "results": results,
+        }
+        with open(BASELINE_PATH, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"baseline written to {BASELINE_PATH}")
+    else:
+        print("smoke ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

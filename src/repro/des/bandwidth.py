@@ -13,6 +13,28 @@ barrier-synchronised I/O storm of ~10⁴ flows costs a handful of O(F)
 vectorised solves rather than O(F²) Python loops: shares are recomputed
 only when the set of active flows changes (arrivals are batched per
 timestamp; completions are discovered by a single "next completion" event).
+
+Three further optimisations keep the hot loop O(active) rather than
+O(everything):
+
+- **flow-class water-filling** — flows with an identical (resource
+  signature, rate cap) pair are provably allocated identical rates by
+  max-min fairness, so the freeze rounds of :meth:`FlowNetwork._maxmin_rates`
+  run over *equivalence classes* instead of flows. A barrier-synchronised
+  storm of thousands of identical writers collapses to a handful of
+  classes; the per-round cost drops from O(F·K) to O(C·K). Rates are
+  bit-identical to the per-flow solve at ``fairness_slack=0``.
+- **packed active indices** — :meth:`_advance` and
+  :meth:`_complete_finished` touch only the packed array of active slots,
+  not the whole (grown) slot arrays.
+- **incremental arrivals + a reschedulable completion tick** — an arrival
+  batch whose flows are all rate-cap-limited and fit into the slack of
+  every capacity they touch cannot change existing allocations (each new
+  flow is cap-limited, every touched capacity stays unsaturated, so the
+  Bertsekas–Gallager bottleneck conditions still hold for every flow);
+  such batches are granted their caps without a full solve. The "next
+  completion" timer is a single re-armable tick instead of one
+  version-stale callback per recomputation piling up in the event heap.
 """
 
 from __future__ import annotations
@@ -31,6 +53,11 @@ __all__ = ["LinkCapacity", "Flow", "FlowNetwork"]
 MAX_RES_PER_FLOW = 4
 
 _REL_EPS = 1e-9
+
+#: Relative slack a capacity must keep for the incremental arrival path:
+#: a touched capacity must stay below this fraction of its size after the
+#: batch is granted, otherwise a full water-filling solve runs.
+_FAST_PATH_HEADROOM = 1.0 - 1e-9
 
 
 class LinkCapacity:
@@ -52,6 +79,7 @@ class LinkCapacity:
         if capacity <= 0:
             raise SimulationError(f"capacity must be > 0, got {capacity}")
         self.network._capacities[self.index] = capacity
+        self.network._pending_structural = True
         self.network._request_recompute()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -135,9 +163,45 @@ class FlowNetwork:
         self._flows: List[Optional[Flow]] = [None] * size
         self._free: List[int] = list(range(size - 1, -1, -1))
 
+        # Flow-class registry: flows with an identical (resource
+        # signature, rate cap) share a class id; the water-filling rounds
+        # run over classes. Maintained incrementally — a dict lookup per
+        # arrival, a refcount decrement per departure — so a solve never
+        # has to factor the flow set from scratch.
+        self._slot_class = np.zeros(size, dtype=np.int64)
+        self._class_ids: Dict[tuple, int] = {}
+        self._class_keys: List[Optional[tuple]] = []
+        self._class_refs: List[int] = []
+        self._class_free: List[int] = []
+        self._class_res = np.full((64, MAX_RES_PER_FLOW), -1, dtype=np.int64)
+        self._class_cap = np.zeros(64, dtype=float)
+        #: Number of classes with at least one live flow. When this equals
+        #: the active flow count every class is a singleton and the solver
+        #: takes the plain per-flow path (no indirection to pay for).
+        self._live_classes = 0
+
+        # Packed active-slot bookkeeping: the set mutates in O(1) per
+        # arrival/departure; the sorted index array is rebuilt lazily so
+        # the vectorised paths touch O(active) slots, never O(capacity).
+        self._active_set: set = set()
+        self._active_idx = np.zeros(0, dtype=np.int64)
+        self._active_dirty = False
+
+        # Incremental-arrival fast path state.
+        self._pending_new: List[int] = []
+        self._pending_structural = False
+        #: Per-capacity bandwidth consumed by the current allocation
+        #: (valid between recomputations; refreshed by every full solve).
+        self._cap_used = np.zeros(0, dtype=float)
+
+        # Reschedulable "next completion" tick: `_tick_target` is the
+        # absolute time of the next predicted completion; `_tick_times`
+        # are the (few) heap entries currently outstanding.
+        self._tick_target = math.inf
+        self._tick_times: List[float] = []
+
         self._last_update = 0.0
         self._recompute_scheduled = False
-        self._version = 0
         self.total_bytes_moved = 0.0
         self.completed_flows = 0
 
@@ -153,6 +217,7 @@ class FlowNetwork:
         index = len(self._cap_names)
         self._cap_names.append(name)
         self._capacities = np.append(self._capacities, float(capacity))
+        self._cap_used = np.append(self._cap_used, 0.0)
         link = LinkCapacity(self, index, name)
         self._links[name] = link
         return link
@@ -162,7 +227,16 @@ class FlowNetwork:
 
     @property
     def active_flow_count(self) -> int:
-        return int(self._active.sum())
+        return len(self._active_set)
+
+    def _active_indices(self) -> np.ndarray:
+        """The packed, ascending array of active slot indices."""
+        if self._active_dirty:
+            self._active_idx = np.fromiter(
+                sorted(self._active_set), dtype=np.int64,
+                count=len(self._active_set))
+            self._active_dirty = False
+        return self._active_idx
 
     # ------------------------------------------------------------------ #
     # flows
@@ -209,23 +283,73 @@ class FlowNetwork:
             self._res[index, k] = res.index
         self._active[index] = True
         self._flows[index] = flow
+        self._slot_class[index] = self._class_of(
+            tuple(int(res.index) for res in resources), float(rate_cap))
+        self._active_set.add(index)
+        self._active_dirty = True
+        self._pending_new.append(index)
         self._request_recompute()
         return flow
+
+    def _class_of(self, res_indices: tuple, rate_cap: float) -> int:
+        """Intern the (resource signature, rate cap) pair as a class id."""
+        key = (res_indices, rate_cap)
+        cid = self._class_ids.get(key)
+        if cid is None:
+            if self._class_free:
+                cid = self._class_free.pop()
+            else:
+                cid = len(self._class_keys)
+                self._class_keys.append(None)
+                self._class_refs.append(0)
+                if cid >= self._class_cap.size:
+                    grown = self._class_cap.size * 2
+                    grown_res = np.full((grown, MAX_RES_PER_FLOW), -1,
+                                        dtype=np.int64)
+                    grown_res[:cid] = self._class_res
+                    self._class_res = grown_res
+                    grown_cap = np.zeros(grown, dtype=float)
+                    grown_cap[:cid] = self._class_cap
+                    self._class_cap = grown_cap
+            self._class_ids[key] = cid
+            self._class_keys[cid] = key
+            self._class_refs[cid] = 0
+            self._class_res[cid, :] = -1
+            self._class_res[cid, :len(res_indices)] = res_indices
+            self._class_cap[cid] = rate_cap
+        self._class_refs[cid] += 1
+        if self._class_refs[cid] == 1:
+            self._live_classes += 1
+        return cid
 
     def _alloc_slot(self) -> int:
         if not self._free:
             old = len(self._flows)
             new = old * 2
-            self._remaining = np.resize(self._remaining, new)
-            self._rate = np.resize(self._rate, new)
-            self._flow_cap = np.resize(self._flow_cap, new)
-            self._start = np.resize(self._start, new)
+            # Grow with explicitly padded arrays: np.resize would tile the
+            # old contents into the new slots, leaving freshly grown slots
+            # with stale caps/volumes until their first use.
+            grown_remaining = np.zeros(new, dtype=float)
+            grown_remaining[:old] = self._remaining
+            self._remaining = grown_remaining
+            grown_rate = np.zeros(new, dtype=float)
+            grown_rate[:old] = self._rate
+            self._rate = grown_rate
+            grown_cap = np.full(new, np.inf, dtype=float)
+            grown_cap[:old] = self._flow_cap
+            self._flow_cap = grown_cap
+            grown_start = np.zeros(new, dtype=float)
+            grown_start[:old] = self._start
+            self._start = grown_start
             grown_active = np.zeros(new, dtype=bool)
             grown_active[:old] = self._active
             self._active = grown_active
             grown_res = np.full((new, MAX_RES_PER_FLOW), -1, dtype=np.int64)
             grown_res[:old] = self._res
             self._res = grown_res
+            grown_class = np.zeros(new, dtype=np.int64)
+            grown_class[:old] = self._slot_class
+            self._slot_class = grown_class
             self._flows.extend([None] * (new - old))
             self._free.extend(range(new - 1, old - 1, -1))
         return self._free.pop()
@@ -234,6 +358,7 @@ class FlowNetwork:
         if flow.index < 0 or self._flows[flow.index] is not flow:
             return
         self._release_slot(flow.index)
+        self._pending_structural = True
         self._request_recompute()
 
     def _release_slot(self, index: int) -> None:
@@ -241,7 +366,16 @@ class FlowNetwork:
         self._flows[index] = None
         self._rate[index] = 0.0
         self._remaining[index] = 0.0
+        self._active_set.discard(index)
+        self._active_dirty = True
         self._free.append(index)
+        cid = int(self._slot_class[index])
+        self._class_refs[cid] -= 1
+        if self._class_refs[cid] == 0:
+            self._live_classes -= 1
+            del self._class_ids[self._class_keys[cid]]
+            self._class_keys[cid] = None
+            self._class_free.append(cid)
 
     # ------------------------------------------------------------------ #
     # share recomputation
@@ -258,52 +392,134 @@ class FlowNetwork:
         """Progress all active flows from the last update time to now."""
         now = self.sim.now
         dt = now - self._last_update
-        if dt > 0:
-            moved = self._rate * dt * self._active
-            self._remaining -= moved
-            np.clip(self._remaining, 0.0, None, out=self._remaining)
+        if dt > 0 and self._active_set:
+            idx = self._active_indices()
+            moved = self._rate[idx] * dt
+            rem = self._remaining[idx] - moved
+            np.clip(rem, 0.0, None, out=rem)
+            self._remaining[idx] = rem
             self.total_bytes_moved += float(moved.sum())
         self._last_update = now
 
     def _recompute(self) -> None:
         self._recompute_scheduled = False
         self._advance()
-        self._complete_finished()
-        idx = np.flatnonzero(self._active)
-        self._version += 1
-        if idx.size == 0:
+        completed = self._complete_finished()
+        arrivals, self._pending_new = self._pending_new, []
+        structural = self._pending_structural or completed
+        self._pending_structural = False
+
+        if self._active_flow_total() == 0:
+            self._tick_target = math.inf
             return
+
+        if not structural and arrivals \
+                and self._try_fast_arrivals(arrivals):
+            return
+
+        idx = self._active_indices()
         rates = self._maxmin_rates(idx)
         self._rate[idx] = rates
         with np.errstate(divide="ignore"):
             finish = self._remaining[idx] / rates
-        t_next = float(finish.min())
-        version = self._version
-        self.sim.schedule_callback(
-            max(t_next, 0.0),
-            lambda: self._on_completion_tick(version),
-            priority=PRIORITY_LATE,
-        )
+        self._arm_tick(max(float(finish.min()), 0.0))
 
-    def _on_completion_tick(self, version: int) -> None:
-        if version != self._version:
-            return  # stale: the flow set changed since this was scheduled
-        self._recompute()
+    def _active_flow_total(self) -> int:
+        return len(self._active_set)
 
-    def _complete_finished(self) -> None:
+    # -- incremental arrivals ------------------------------------------- #
+    def _try_fast_arrivals(self, arrivals: List[int]) -> bool:
+        """Grant an arrival batch without a full solve, when provably safe.
+
+        Sound when every new flow is limited by its own finite rate cap
+        and every capacity it touches keeps headroom after the grant: the
+        new flows are cap-limited (their bottleneck is themselves) and no
+        previously unsaturated capacity saturates, so every existing
+        flow's bottleneck structure — hence its max-min rate — is
+        unchanged. Otherwise fall back to the full water-filling solve.
+        """
+        caps = self._flow_cap
+        capacities = self._capacities
+        trial = None
+        for index in arrivals:
+            rate = caps[index]
+            if not math.isfinite(rate):
+                return False
+            for k in range(MAX_RES_PER_FLOW):
+                res = self._res[index, k]
+                if res < 0:
+                    break
+                if trial is None:
+                    trial = self._cap_used.copy()
+                if trial[res] + rate > capacities[res] * _FAST_PATH_HEADROOM:
+                    return False
+            if trial is not None:
+                for k in range(MAX_RES_PER_FLOW):
+                    res = self._res[index, k]
+                    if res < 0:
+                        break
+                    trial[res] += rate
+        for index in arrivals:
+            self._rate[index] = caps[index]
+        if trial is not None:
+            self._cap_used = trial
+        idx = self._active_indices()
+        with np.errstate(divide="ignore"):
+            finish = self._remaining[idx] / self._rate[idx]
+        self._arm_tick(max(float(finish.min()), 0.0))
+        return True
+
+    # -- the completion tick -------------------------------------------- #
+    def _arm_tick(self, t_next: float) -> None:
+        """Point the completion tick at ``now + t_next``.
+
+        Keeps at most a handful of heap entries alive: a new entry is
+        pushed only when the target moves *earlier* than every
+        outstanding entry; a tick that fires early (because the target
+        moved later) re-arms itself instead of recomputing.
+        """
+        # Same float expression as Simulator._schedule uses, so the tick
+        # fires at a bit-identical timestamp to a delay-scheduled event.
+        t_abs = self.sim.now + t_next
+        self._tick_target = t_abs
+        if not self._tick_times or min(self._tick_times) > t_abs:
+            self._tick_times.append(t_abs)
+            self.sim.schedule_callback_at(t_abs, self._on_completion_tick,
+                                          priority=PRIORITY_LATE)
+
+    def _on_completion_tick(self) -> None:
+        self._tick_times.remove(self.sim.now)
+        if not self._active_set or not math.isfinite(self._tick_target):
+            return
+        if self.sim.now == self._tick_target:
+            self._recompute()
+        elif not self._tick_times or min(self._tick_times) > self._tick_target:
+            # Fired early (the predicted completion moved later after an
+            # arrival); re-arm at the current target.
+            self._tick_times.append(self._tick_target)
+            self.sim.schedule_callback_at(
+                self._tick_target, self._on_completion_tick,
+                priority=PRIORITY_LATE)
+
+    def _complete_finished(self) -> bool:
         # A flow is done when its remaining volume is within tolerance: an
         # exact epsilon plus the completion-slack fraction of the time it
         # has already been running (bounded relative timing error; batches
         # near-simultaneous completions into one recomputation).
+        if not self._active_set:
+            return False
+        idx = self._active_indices()
         now = self.sim.now
-        tol_seconds = self.completion_slack * (now - self._start) + _REL_EPS
-        tol = self._rate * tol_seconds + 1e-6
-        done = self._active & (self._remaining <= tol)
+        tol_seconds = self.completion_slack * (now - self._start[idx]) \
+            + _REL_EPS
+        tol = self._rate[idx] * tol_seconds + 1e-6
+        done = self._remaining[idx] <= tol
         if not done.any():
-            return
+            return False
+        done_idx = idx[done]
         # Account the short-cut remainder as moved.
-        self.total_bytes_moved += float(self._remaining[done].sum())
-        for index in np.flatnonzero(done):
+        self.total_bytes_moved += float(self._remaining[done_idx].sum())
+        for index in done_idx:
             flow = self._flows[index]
             self._release_slot(int(index))
             if flow is None:
@@ -311,6 +527,7 @@ class FlowNetwork:
             flow.end_time = now
             self.completed_flows += 1
             flow.event.succeed(flow)
+        return True
 
     def _maxmin_rates(self, idx: np.ndarray) -> np.ndarray:
         """Max-min fair rates (with per-flow caps) for active flow slots.
@@ -321,7 +538,88 @@ class FlowNetwork:
         of the global bottleneck, at their candidate. With slack 0 this is
         exact max-min; with a small slack, near-equal bottleneck levels
         batch into one round (hundreds of rounds → a handful).
+
+        The rounds run over *equivalence classes* of flows with identical
+        (resource signature, rate cap): all members of a class see the
+        same fair shares and the same cap, so they share one candidate
+        and freeze together. Resource occupancy counts weight each class
+        by its multiplicity, and the capacity consumed by a freeze is
+        scattered per flow in ascending slot order, so the result is
+        bit-identical to the per-flow solve at ``fairness_slack=0``.
         """
+        if self._live_classes == idx.size:
+            # Every class is a singleton (e.g. all caps distinct): the
+            # class indirection cannot collapse anything, so run the
+            # plain per-flow solve.
+            return self._maxmin_rates_flows(idx)
+        nres = self._capacities.size
+        batch = 1.0 + self.fairness_slack + 1e-12
+
+        # Gather the interned equivalence classes present in this solve.
+        present, inverse, mult = np.unique(
+            self._slot_class[idx], return_inverse=True, return_counts=True)
+        cres = self._class_res[present]           # (C, K)
+        cvalid = cres >= 0                        # (C, K)
+        cres_clipped = np.where(cvalid, cres, 0)  # (C, K)
+        ccaps = self._class_cap[present]          # (C,)
+        cmult = mult.astype(float)                # (C,)
+        nclasses = present.size
+
+        crate = np.zeros(nclasses, dtype=float)
+        cfrozen = np.zeros(nclasses, dtype=bool)
+        cap_rem = self._capacities.astype(float).copy()
+        # Round-invariant buffers, hoisted out of the freeze loop.
+        counts = np.empty(nres, dtype=float)
+        share = np.empty(nres, dtype=float)
+        consumed = np.empty(nres, dtype=float)
+
+        for _ in range(nclasses + nres + 1):
+            unfrozen = ~cfrozen
+            if not unfrozen.any():
+                break
+            live_valid = cvalid[unfrozen]
+            members = cres[unfrozen][live_valid]
+            if members.size == 0:
+                # Remaining flows touch no capacity: bounded by caps only.
+                crate[unfrozen] = ccaps[unfrozen]
+                break
+            weights = np.broadcast_to(
+                cmult[unfrozen, None], live_valid.shape)[live_valid]
+            counts.fill(0.0)
+            np.add.at(counts, members, weights)
+            used = counts > 0
+            share.fill(np.inf)
+            share[used] = np.maximum(cap_rem[used], 0.0) / counts[used]
+            # Per-class candidate: min share across its resources, then cap.
+            class_share = np.where(cvalid, share[cres_clipped], np.inf)
+            candidate = np.minimum(class_share.min(axis=1), ccaps)
+            s_star = float(candidate[unfrozen].min())
+
+            freeze = unfrozen & (candidate <= s_star * batch)
+            crate[freeze] = candidate[freeze]
+            cfrozen[freeze] = True
+            # Scatter consumption per flow, in ascending slot order, so
+            # the floating-point accumulation matches the per-flow solve.
+            rows = inverse[freeze[inverse]]       # class row per frozen flow
+            consumed.fill(0.0)
+            flat_rate = np.repeat(candidate[rows], MAX_RES_PER_FLOW)
+            flat_res = cres_clipped[rows].ravel()
+            flat_valid = cvalid[rows].ravel()
+            np.add.at(consumed, flat_res[flat_valid], flat_rate[flat_valid])
+            cap_rem -= consumed
+
+        # The residual capacities double as the consumed-bandwidth table
+        # for the incremental-arrival fast path.
+        self._cap_used = self._capacities - cap_rem
+
+        rate = crate[inverse]
+        # Numerical safety: every active flow must make progress.
+        np.maximum(rate, 1e-12, out=rate)
+        return rate
+
+    def _maxmin_rates_flows(self, idx: np.ndarray) -> np.ndarray:
+        """The per-flow water-filling solve (identical rounds, no class
+        indirection); used when every class is a singleton."""
         res = self._res[idx]                      # (F, K)
         valid = res >= 0                          # (F, K)
         caps = self._flow_cap[idx]                # (F,)
@@ -332,6 +630,10 @@ class FlowNetwork:
         cap_rem = self._capacities.astype(float).copy()
         res_clipped = np.where(valid, res, 0)
         batch = 1.0 + self.fairness_slack + 1e-12
+        # Round-invariant buffers, hoisted out of the freeze loop.
+        counts = np.empty(nres, dtype=float)
+        share = np.empty(nres, dtype=float)
+        consumed = np.empty(nres, dtype=float)
 
         for _ in range(nflows + nres + 1):
             unfrozen = ~frozen
@@ -342,10 +644,10 @@ class FlowNetwork:
                 # Remaining flows touch no capacity: bounded by caps only.
                 rate[unfrozen] = caps[unfrozen]
                 break
-            counts = np.zeros(nres, dtype=float)
+            counts.fill(0.0)
             np.add.at(counts, members, 1.0)
             used = counts > 0
-            share = np.full(nres, np.inf)
+            share.fill(np.inf)
             share[used] = np.maximum(cap_rem[used], 0.0) / counts[used]
             # Per-flow candidate: min share across its resources, then cap.
             flow_share = np.where(valid, share[res_clipped], np.inf)
@@ -355,12 +657,14 @@ class FlowNetwork:
             freeze = unfrozen & (candidate <= s_star * batch)
             rate[freeze] = candidate[freeze]
             frozen[freeze] = True
-            consumed = np.zeros(nres, dtype=float)
+            consumed.fill(0.0)
             flat_rate = np.repeat(candidate[freeze], MAX_RES_PER_FLOW)
             flat_res = res_clipped[freeze].ravel()
             flat_valid = valid[freeze].ravel()
             np.add.at(consumed, flat_res[flat_valid], flat_rate[flat_valid])
             cap_rem -= consumed
+
+        self._cap_used = self._capacities - cap_rem
 
         # Numerical safety: every active flow must make progress.
         np.maximum(rate, 1e-12, out=rate)

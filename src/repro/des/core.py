@@ -8,6 +8,7 @@ resources, flows) is built on top of events and callbacks.
 from __future__ import annotations
 
 import heapq
+import math
 from typing import Any, Callable, List, Optional
 
 from repro.errors import SimulationError
@@ -177,8 +178,12 @@ class Simulator:
                   priority: int = PRIORITY_NORMAL) -> None:
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        self._schedule_at(event, self._now + delay, priority)
+
+    def _schedule_at(self, event: Event, time: float,
+                     priority: int = PRIORITY_NORMAL) -> None:
         self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+        heapq.heappush(self._heap, (time, priority, self._seq, event))
 
     def schedule_callback(self, delay: float, callback: Callable[[], None],
                           priority: int = PRIORITY_NORMAL) -> Event:
@@ -186,6 +191,23 @@ class Simulator:
         event = Event(self)
         event.callbacks.append(lambda _evt: callback())
         return event.succeed(delay=delay, priority=priority)
+
+    def schedule_callback_at(self, time: float, callback: Callable[[], None],
+                             priority: int = PRIORITY_NORMAL) -> Event:
+        """Schedule a plain callable at an *absolute* simulated time.
+
+        Unlike :meth:`schedule_callback`, the heap key is exactly ``time``
+        (no ``now + delay`` round-trip), so a caller can re-arm a timer at
+        a previously computed timestamp without floating-point drift.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past (time={time}, now={self._now})")
+        event = Event(self)
+        event.callbacks.append(lambda _evt: callback())
+        event._state = _TRIGGERED
+        self._schedule_at(event, time, priority)
+        return event
 
     # -- the loop ------------------------------------------------------------
     def peek(self) -> float:
@@ -215,8 +237,12 @@ class Simulator:
                         f"run(until={until}) is in the past (now={self._now})")
                 while self._heap and self._heap[0][0] <= until:
                     self.step()
-                self._now = max(self._now, until) if until != float("inf") \
-                    else self._now
+                # Advance the clock to the bound, but only for a finite
+                # bound: run(until=inf) drains the queue and leaves the
+                # clock at the last processed event; run(until=now) is a
+                # no-op on the clock.
+                if math.isfinite(until) and until > self._now:
+                    self._now = until
         finally:
             self._running = False
 

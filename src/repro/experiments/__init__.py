@@ -6,9 +6,16 @@
   workload) configuration and measure what the paper measures;
 - :mod:`repro.experiments.figures` — one driver per table/figure of the
   evaluation section;
+- :mod:`repro.experiments.executor` — process-parallel sweep fan-out
+  (``REPRO_PARALLEL=N``) with bit-identical, seeded results;
 - :mod:`repro.experiments.report` — paper-vs-measured table rendering.
 """
 
+from repro.experiments.executor import (
+    SweepTask,
+    default_parallelism,
+    run_sweep,
+)
 from repro.experiments.harness import ExperimentResult, run_experiment
 from repro.experiments.platforms import (
     PlatformPreset,
@@ -20,8 +27,11 @@ from repro.experiments.platforms import (
 __all__ = [
     "ExperimentResult",
     "PlatformPreset",
+    "SweepTask",
     "blueprint_preset",
+    "default_parallelism",
     "grid5000_preset",
     "kraken_preset",
     "run_experiment",
+    "run_sweep",
 ]

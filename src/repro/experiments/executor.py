@@ -1,0 +1,90 @@
+"""Process-parallel sweep executor for independent experiment configs.
+
+The figure drivers in :mod:`repro.experiments.figures` sweep many
+independent ``(ncores, strategy)`` configurations; each one builds its
+own :class:`~repro.des.core.Simulator` and machine from an explicit RNG
+seed, so they can run in any order — or in separate processes — and
+produce bit-identical results. This module provides the fan-out:
+
+- :class:`SweepTask` — a picklable unit of work (top-level function,
+  positional args, keyword args, display label);
+- :func:`run_sweep` — run a task list serially or over a
+  ``ProcessPoolExecutor``, always returning results in task order;
+- :func:`default_parallelism` — worker count from the
+  ``REPRO_PARALLEL`` environment variable (default ``1`` = serial).
+
+Determinism contract: a task must not read or mutate shared state; all
+randomness must come from seeds carried in its arguments. Every task in
+``figures.py`` satisfies this by passing the seed down to
+``PlatformPreset.build``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["SweepTask", "default_parallelism", "run_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One picklable unit of sweep work.
+
+    ``fn`` must be a module-level callable (pickled by qualified name)
+    and its arguments must be picklable; lambdas and closures will fail
+    as soon as a parallel run is requested, so they are rejected upfront.
+    """
+
+    fn: Callable[..., Any]
+    args: Tuple[Any, ...] = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        name = getattr(self.fn, "__name__", "")
+        qualname = getattr(self.fn, "__qualname__", name)
+        if name == "<lambda>" or "<locals>" in qualname:
+            raise TypeError(
+                f"SweepTask fn must be a module-level function, got "
+                f"{qualname!r} (not picklable for process pools)")
+
+    def run(self) -> Any:
+        return self.fn(*self.args, **self.kwargs)
+
+
+def default_parallelism() -> int:
+    """Worker count requested via ``REPRO_PARALLEL`` (default 1)."""
+    raw = os.environ.get("REPRO_PARALLEL", "").strip()
+    if not raw:
+        return 1
+    try:
+        workers = int(raw)
+    except ValueError:
+        return 1
+    return max(1, workers)
+
+
+def _call(task: SweepTask) -> Any:
+    return task.run()
+
+
+def run_sweep(tasks: Iterable[SweepTask],
+              parallel: Optional[int] = None) -> List[Any]:
+    """Run every task and return their results **in task order**.
+
+    ``parallel=None`` consults :func:`default_parallelism`; ``1`` (or a
+    single task) runs serially in-process with no pool overhead. The
+    parallel path uses ``ProcessPoolExecutor.map``, which preserves
+    submission order, so serial and parallel runs return bit-identical
+    result lists for deterministic tasks.
+    """
+    task_list = list(tasks)
+    workers = default_parallelism() if parallel is None else max(1, int(parallel))
+    workers = min(workers, len(task_list))
+    if workers <= 1:
+        return [task.run() for task in task_list]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_call, task_list))

@@ -8,12 +8,20 @@ records paper-vs-measured.
 
 ``REPRO_FAST=1`` in the environment trims the sweeps (smaller scales,
 fewer phases) for quick runs; the full sweeps match the paper.
+
+Every driver expresses its sweep as a list of picklable *spec* dicts
+(platform preset, core count, strategy description, seed) executed
+through :func:`repro.experiments.executor.run_sweep`, so setting
+``REPRO_PARALLEL=N`` fans independent configurations out over ``N``
+worker processes with bit-identical results: each spec builds its own
+simulator and machine from its explicit seed, and ``run_sweep`` returns
+results in task order.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -22,6 +30,7 @@ from repro.analysis.scalability import scalability_factor
 from repro.analysis.stats import jitter_stats
 from repro.apps.workload import CM1Workload
 from repro.core.server import DamarisOptions
+from repro.experiments.executor import SweepTask, run_sweep
 from repro.experiments.harness import ExperimentResult, run_experiment
 from repro.experiments.platforms import (
     PlatformPreset,
@@ -88,6 +97,79 @@ def _run(preset: PlatformPreset, ncores: int, strategy,
 
 
 # ---------------------------------------------------------------------- #
+# Picklable sweep specs
+# ---------------------------------------------------------------------- #
+# A spec fully describes one experiment run as plain data so it can cross
+# a process boundary: {"preset": ..., "ncores": ..., "strategy": {...},
+# "seed": ..., optional "nvariables"/"write_phases"/"compression"}.
+
+_PRESETS = {
+    "kraken": kraken_preset,
+    "grid5000": grid5000_preset,
+    "blueprint": blueprint_preset,
+}
+
+_COMPRESSION = {
+    "gzip": GZIP_MODEL,
+    "gzip16": GZIP16_MODEL,
+}
+
+
+def _strategy_from_spec(spec: Dict[str, Any], preset: PlatformPreset):
+    kind = spec["kind"]
+    if kind == "fpp":
+        return FilePerProcessStrategy(compress=spec.get("compress", False))
+    if kind == "collective":
+        return _collective_for(preset, stripe_size=spec.get("stripe_size"))
+    if kind == "noio":
+        return NoIOStrategy()
+    if kind == "damaris":
+        options_kwargs: Dict[str, Any] = {}
+        if spec.get("compression"):
+            options_kwargs["compression"] = _COMPRESSION[spec["compression"]]
+        if spec.get("use_scheduler"):
+            options_kwargs["use_scheduler"] = True
+        strategy_kwargs: Dict[str, Any] = {}
+        if options_kwargs:
+            strategy_kwargs["options"] = DamarisOptions(**options_kwargs)
+        if spec.get("compress_on_server"):
+            strategy_kwargs["compress_on_server"] = True
+        return DamarisStrategy(**strategy_kwargs)
+    raise ValueError(f"unknown strategy kind: {kind!r}")
+
+
+def _run_spec(spec: Dict[str, Any]) -> ExperimentResult:
+    """Execute one sweep spec (module-level: picklable for worker pools)."""
+    preset = _PRESETS[spec["preset"]]()
+    workload = None
+    if "nvariables" in spec:
+        workload = CM1Workload.blueprint(nvariables=spec["nvariables"])
+    strategy = _strategy_from_spec(spec["strategy"], preset)
+    run_kwargs: Dict[str, Any] = {}
+    if spec.get("run_compression"):
+        run_kwargs["compression"] = _COMPRESSION[spec["run_compression"]]
+    return _run(preset, spec["ncores"], strategy, workload=workload,
+                seed=spec.get("seed", 42),
+                write_phases=spec.get("write_phases"), **run_kwargs)
+
+
+def _sweep(specs: Sequence[Dict[str, Any]],
+           prefix: str) -> List[ExperimentResult]:
+    tasks = [
+        SweepTask(
+            _run_spec, (spec,),
+            label=(f"{prefix}/{spec['preset']}/{spec['ncores']}"
+                   f"/{spec['strategy']['kind']}"))
+        for spec in specs
+    ]
+    return run_sweep(tasks)
+
+
+# The three paper strategies, in the order every Kraken sweep uses.
+_KRAKEN_TRIO = ({"kind": "fpp"}, {"kind": "collective"}, {"kind": "damaris"})
+
+
+# ---------------------------------------------------------------------- #
 # Fig. 2 — write-phase duration on Kraken
 # ---------------------------------------------------------------------- #
 def fig2_write_phase_kraken(scales: Optional[Sequence[int]] = None,
@@ -106,28 +188,29 @@ def fig2_write_phase_kraken(scales: Optional[Sequence[int]] = None,
             "32 MB Lustre stripes double the collective write time",
         ])
     scales = tuple(scales) if scales is not None else kraken_scales()
-    preset = kraken_preset()
-    for ncores in scales:
-        for strategy_factory in (
-            lambda: FilePerProcessStrategy(),
-            lambda: _collective_for(preset),
-            lambda: DamarisStrategy(),
-        ):
-            strategy = strategy_factory()
-            result = _run(preset, ncores, strategy, seed=seed)
-            stats = jitter_stats([p.duration for p in result.phases])
-            report.rows.append({
-                "strategy": strategy.name,
-                "cores": ncores,
-                "avg_s": stats.mean,
-                "max_s": stats.maximum,
-                "spread_s": stats.spread,
-            })
+    specs = [
+        {"preset": "kraken", "ncores": ncores, "strategy": dict(strategy),
+         "seed": seed}
+        for ncores in scales
+        for strategy in _KRAKEN_TRIO
+    ]
     # The stripe-size misconfiguration experiment, at the largest scale.
     big = scales[-1]
-    oversized = _run(preset, big, _collective_for(preset,
-                                                  stripe_size=32 * MiB),
-                     seed=seed, write_phases=1)
+    specs.append({"preset": "kraken", "ncores": big,
+                  "strategy": {"kind": "collective",
+                               "stripe_size": 32 * MiB},
+                  "seed": seed, "write_phases": 1})
+    results = _sweep(specs, "fig2")
+    for result in results[:-1]:
+        stats = jitter_stats([p.duration for p in result.phases])
+        report.rows.append({
+            "strategy": result.strategy,
+            "cores": result.ncores,
+            "avg_s": stats.mean,
+            "max_s": stats.maximum,
+            "spread_s": stats.spread,
+        })
+    oversized = results[-1]
     report.rows.append({
         "strategy": "collective-io (32MB stripes)",
         "cores": big,
@@ -159,16 +242,23 @@ def fig3_blueprint_volume(ncores: int = 1024,
     if fast_mode():
         ncores = min(ncores, 256)
     preset = blueprint_preset()
+    specs: List[Dict[str, Any]] = []
     for nvars in variable_counts:
+        specs.append({"preset": "blueprint", "ncores": ncores,
+                      "strategy": {"kind": "fpp", "compress": True},
+                      "seed": seed, "nvariables": nvars,
+                      "run_compression": "gzip"})
+        specs.append({"preset": "blueprint", "ncores": ncores,
+                      "strategy": {"kind": "damaris",
+                                   "compress_on_server": True,
+                                   "compression": "gzip"},
+                      "seed": seed, "nvariables": nvars})
+    results = _sweep(specs, "fig3")
+    for i, nvars in enumerate(variable_counts):
         workload = CM1Workload.blueprint(nvariables=nvars)
         volume = workload.total_bytes(
             ncores - ncores // preset.cores_per_node)
-        fpp = _run(preset, ncores, FilePerProcessStrategy(compress=True),
-                   workload=workload, seed=seed, compression=GZIP_MODEL)
-        damaris = _run(preset, ncores, DamarisStrategy(
-            compress_on_server=True,
-            options=DamarisOptions(compression=GZIP_MODEL)),
-            workload=workload, seed=seed)
+        fpp, damaris = results[2 * i], results[2 * i + 1]
         for label, result in (("file-per-process", fpp),
                               ("damaris", damaris)):
             stats = jitter_stats([p.duration for p in result.phases])
@@ -198,31 +288,31 @@ def fig4_scalability_kraken(scales: Optional[Sequence[int]] = None,
             "file-per-process, divided by ~3.5 vs collective-I/O",
         ])
     scales = tuple(scales) if scales is not None else kraken_scales()
-    preset = kraken_preset()
     baseline_cores = scales[0]
-    baseline = _run(preset, baseline_cores, NoIOStrategy(), seed=seed,
-                    write_phases=1)
-    c_base = baseline.run_time
+    specs: List[Dict[str, Any]] = [
+        {"preset": "kraken", "ncores": baseline_cores,
+         "strategy": {"kind": "noio"}, "seed": seed, "write_phases": 1},
+    ]
+    specs.extend(
+        {"preset": "kraken", "ncores": ncores, "strategy": dict(strategy),
+         "seed": seed, "write_phases": 1}
+        for ncores in scales
+        for strategy in _KRAKEN_TRIO
+    )
+    results = _sweep(specs, "fig4")
+    c_base = results[0].run_time
     report.add_note(
         f"baseline C{baseline_cores} (no I/O, no dedicated core): "
         f"{c_base:.1f} s")
-    for ncores in scales:
-        for strategy_factory in (
-            lambda: FilePerProcessStrategy(),
-            lambda: _collective_for(preset),
-            lambda: DamarisStrategy(),
-        ):
-            strategy = strategy_factory()
-            result = _run(preset, ncores, strategy, seed=seed,
-                          write_phases=1)
-            factor = scalability_factor(ncores, c_base, result.run_time)
-            report.rows.append({
-                "strategy": strategy.name,
-                "cores": ncores,
-                "run_time_s": result.run_time,
-                "scalability": factor,
-                "perfect": float(ncores),
-            })
+    for result in results[1:]:
+        factor = scalability_factor(result.ncores, c_base, result.run_time)
+        report.rows.append({
+            "strategy": result.strategy,
+            "cores": result.ncores,
+            "run_time_s": result.run_time,
+            "scalability": factor,
+            "perfect": float(result.ncores),
+        })
     return report
 
 
@@ -242,27 +332,32 @@ def fig5_spare_time(scales: Optional[Sequence[int]] = None,
             "contention) but dedicated cores stay 75-99 % idle",
             "On BluePrint write time grows with the output volume",
         ])
-    preset = kraken_preset()
     scales = tuple(scales) if scales is not None else kraken_scales()
-    for ncores in scales:
-        result = _run(preset, ncores, DamarisStrategy(), seed=seed)
+    if variable_counts is None:
+        variable_counts = (2, 4, 6) if not fast_mode() else (2, 6)
+    bp_cores = 256 if fast_mode() else 1024
+    specs: List[Dict[str, Any]] = [
+        {"preset": "kraken", "ncores": ncores,
+         "strategy": {"kind": "damaris"}, "seed": seed}
+        for ncores in scales
+    ]
+    specs.extend(
+        {"preset": "blueprint", "ncores": bp_cores,
+         "strategy": {"kind": "damaris"}, "seed": seed, "nvariables": nvars}
+        for nvars in variable_counts
+    )
+    results = _sweep(specs, "fig5")
+    for result in results[:len(scales)]:
         write = float(np.mean(result.dedicated_write_times)) \
             if result.dedicated_write_times else 0.0
         report.rows.append({
             "platform": "kraken",
-            "cores": ncores,
+            "cores": result.ncores,
             "volume_GB": result.bytes_per_phase / GB,
             "write_s": write,
             "spare_fraction": result.spare_fraction,
         })
-    if variable_counts is None:
-        variable_counts = (2, 4, 6) if not fast_mode() else (2, 6)
-    bp = blueprint_preset()
-    bp_cores = 256 if fast_mode() else 1024
-    for nvars in variable_counts:
-        workload = CM1Workload.blueprint(nvariables=nvars)
-        result = _run(bp, bp_cores, DamarisStrategy(), workload=workload,
-                      seed=seed)
+    for result in results[len(scales):]:
         write = float(np.mean(result.dedicated_write_times)) \
             if result.dedicated_write_times else 0.0
         report.rows.append({
@@ -288,19 +383,20 @@ def fig6_throughput_kraken(scales: Optional[Sequence[int]] = None,
             "collective-I/O at 9216 cores",
         ])
     scales = tuple(scales) if scales is not None else kraken_scales()
-    preset = kraken_preset()
-    for ncores in scales:
+    specs = [
+        {"preset": "kraken", "ncores": ncores, "strategy": dict(strategy),
+         "seed": seed}
+        for ncores in scales
+        for strategy in _KRAKEN_TRIO
+    ]
+    results = _sweep(specs, "fig6")
+    per_scale = len(_KRAKEN_TRIO)
+    for i, ncores in enumerate(scales):
         throughputs = {}
-        for strategy_factory in (
-            lambda: FilePerProcessStrategy(),
-            lambda: _collective_for(preset),
-            lambda: DamarisStrategy(),
-        ):
-            strategy = strategy_factory()
-            result = _run(preset, ncores, strategy, seed=seed)
-            throughputs[strategy.name] = result.aggregate_throughput
+        for result in results[i * per_scale:(i + 1) * per_scale]:
+            throughputs[result.strategy] = result.aggregate_throughput
             report.rows.append({
-                "strategy": strategy.name,
+                "strategy": result.strategy,
                 "cores": ncores,
                 "throughput_GB_s": result.aggregate_throughput / GB,
             })
@@ -328,21 +424,20 @@ def table1_grid5000(ncores: int = 672, seed: int = 42) -> FigureReport:
         ])
     if fast_mode():
         ncores = 240
-    preset = grid5000_preset()
-    for strategy_factory in (
-        lambda: FilePerProcessStrategy(),
-        lambda: _collective_for(preset),
-        lambda: DamarisStrategy(),
-    ):
-        strategy = strategy_factory()
-        result = _run(preset, ncores, strategy, seed=seed)
+    specs = [
+        {"preset": "grid5000", "ncores": ncores, "strategy": dict(strategy),
+         "seed": seed}
+        for strategy in _KRAKEN_TRIO
+    ]
+    results = _sweep(specs, "table1")
+    for result in results:
         report.rows.append({
-            "strategy": strategy.name,
+            "strategy": result.strategy,
             "cores": ncores,
             "throughput_MB_s": result.aggregate_throughput / MB,
             "write_phase_s": result.avg_write_phase,
         })
-        if strategy.name == "file-per-process":
+        if result.strategy == "file-per-process":
             ranks = np.concatenate([p.rank_times for p in result.phases])
             report.add_note(
                 f"FPP: I/O fraction {100 * result.io_fraction:.2f} %, "
@@ -376,23 +471,26 @@ def fig7_spare_strategies(kraken_cores: int = 2304,
     if fast_mode():
         kraken_cores, grid5000_cores = 576, 240
     configs = [
-        ("plain", dict()),
-        ("scheduler", dict(options=DamarisOptions(use_scheduler=True))),
-        ("gzip", dict(compress_on_server=True,
-                      options=DamarisOptions(compression=GZIP_MODEL))),
-        ("gzip+sched", dict(compress_on_server=True,
-                            options=DamarisOptions(
-                                compression=GZIP_MODEL,
-                                use_scheduler=True))),
+        ("plain", {"kind": "damaris"}),
+        ("scheduler", {"kind": "damaris", "use_scheduler": True}),
+        ("gzip", {"kind": "damaris", "compress_on_server": True,
+                  "compression": "gzip"}),
+        ("gzip+sched", {"kind": "damaris", "compress_on_server": True,
+                        "compression": "gzip", "use_scheduler": True}),
     ]
-    for platform, preset, ncores in (
-        ("kraken", kraken_preset(), kraken_cores),
-        ("grid5000", grid5000_preset(), grid5000_cores),
-    ):
-        for label, kwargs in configs:
-            result = _run(preset, ncores, DamarisStrategy(**kwargs),
-                          seed=seed,
-                          write_phases=max(2, _phases()))
+    platforms = (("kraken", kraken_cores), ("grid5000", grid5000_cores))
+    specs = [
+        {"preset": platform, "ncores": ncores, "strategy": dict(strategy),
+         "seed": seed, "write_phases": max(2, _phases())}
+        for platform, ncores in platforms
+        for _label, strategy in configs
+    ]
+    results = _sweep(specs, "fig7")
+    i = 0
+    for platform, ncores in platforms:
+        for label, _strategy in configs:
+            result = results[i]
+            i += 1
             write = float(np.mean(result.dedicated_write_times)) \
                 if result.dedicated_write_times else 0.0
             report.rows.append({

@@ -6,6 +6,11 @@ Usage::
     python -m repro.tools.figures fig2       # regenerate one
     python -m repro.tools.figures all        # regenerate everything
     REPRO_FAST=1 python -m repro.tools.figures fig4   # trimmed sweep
+    python -m repro.tools.figures --parallel 4 all    # 4 worker processes
+
+``--parallel N`` (or ``REPRO_PARALLEL=N`` in the environment) fans the
+independent sweep configurations of each driver out over ``N`` worker
+processes; results are bit-identical to a serial run.
 
 Each driver prints the same rows the corresponding bench asserts on and
 that EXPERIMENTS.md documents.
@@ -13,6 +18,7 @@ that EXPERIMENTS.md documents.
 
 from __future__ import annotations
 
+import os
 import sys
 from typing import Callable, Dict
 
@@ -32,6 +38,17 @@ DRIVERS: Dict[str, Callable] = {
 
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
+    if "--parallel" in argv:
+        at = argv.index("--parallel")
+        try:
+            workers = int(argv[at + 1])
+        except (IndexError, ValueError):
+            print("--parallel requires an integer worker count",
+                  file=sys.stderr)
+            return 2
+        del argv[at:at + 2]
+        # The figure drivers pick this up through executor.run_sweep.
+        os.environ["REPRO_PARALLEL"] = str(workers)
     if not argv or argv[0] in ("-h", "--help"):
         print(__doc__)
         print("available figures:", ", ".join(sorted(DRIVERS)), "| all")

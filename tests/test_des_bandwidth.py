@@ -237,6 +237,82 @@ class TestCapacityChange:
         assert done["t"] == pytest.approx(3.0)
 
 
+class TestSlotGrowth:
+    def test_grown_slots_are_clean(self):
+        """Growing the slot arrays must zero/inf-pad the new slots —
+        ``np.resize`` used to tile the old values into them, leaving
+        stale ``_flow_cap``/``_res``/``_remaining`` entries."""
+        sim = Simulator()
+        net = FlowNetwork(sim)
+        link = net.add_capacity("l", 1e6)
+        # Exceed the initial 64-slot slab with distinctive values that
+        # would be visible if tiled into the grown region.
+        for _ in range(100):
+            net.transfer([link], 1e3, rate_cap=5.0)
+        free = np.array(sorted(net._free), dtype=np.int64)
+        assert free.size > 0
+        assert np.all(np.isinf(net._flow_cap[free]))
+        assert np.all(net._remaining[free] == 0.0)
+        assert np.all(net._res[free] == -1)
+        assert np.all(net._start[free] == 0.0)
+        assert not net._active[free].any()
+
+    def test_flows_across_growth_complete_correctly(self):
+        sim = Simulator()
+        net = FlowNetwork(sim)
+        link = net.add_capacity("l", 100.0)
+        flows = [net.transfer([link], 50.0) for _ in range(80)]
+        sim.run()
+        assert net.completed_flows == 80
+        assert all(f.event.triggered for f in flows)
+        # 80 equal flows of 50 B share 100 B/s: all finish at t=40.
+        assert sim.now == pytest.approx(40.0)
+
+
+class TestCompletionTick:
+    def test_no_heap_leak_under_staggered_arrivals(self):
+        """Each recompute used to push a fresh version-stale tick event;
+        with chained arrivals the heap must stay a handful of entries."""
+        sim = Simulator()
+        net = FlowNetwork(sim)
+        link = net.add_capacity("l", 1e6)
+        peak = [0]
+        started = [0]
+
+        def arrive():
+            started[0] += 1
+            net.transfer([link], 1e4)
+            if started[0] < 100:
+                sim.schedule_callback(1e-3, arrive)
+            peak[0] = max(peak[0], len(sim._heap))
+
+        sim.schedule_callback(0.0, arrive)
+        sim.run()
+        assert net.completed_flows == 100
+        assert peak[0] <= 10
+
+    def test_arrival_on_link_with_headroom_keeps_existing_rates(self):
+        # A (cap 100, 100 B) starts at t=0 on a 1000 B/s link; B
+        # (cap 200, 100 B) arrives at t=0.5. Neither saturates the link,
+        # so A keeps its rate: A ends at 1.0, B at 1.0.
+        done = run_transfers({"l": 1000.0},
+                             [(["l"], 100.0, 100.0, 0.0),
+                              (["l"], 100.0, 200.0, 0.5)])
+        assert done["0"] == pytest.approx(1.0)
+        assert done["1"] == pytest.approx(1.0)
+
+    def test_arrival_squeezing_capped_flow_recomputes(self):
+        # A (cap 60, 120 B) alone on a 100 B/s link: rate 60. B
+        # (uncapped, 100 B) arrives at t=1: fair share drops A to 50.
+        # A: 60 B left at 50 B/s -> ends 2.2. B then finishes its
+        # remaining 40 B alone at min(cap, 100) = 100 B/s -> ends 2.6.
+        done = run_transfers({"l": 100.0},
+                             [(["l"], 120.0, 60.0, 0.0),
+                              (["l"], 100.0, math.inf, 1.0)])
+        assert done["0"] == pytest.approx(2.2)
+        assert done["1"] == pytest.approx(2.6)
+
+
 class TestMaxMinProperties:
     """Property-based checks on the water-filling solver."""
 

@@ -64,6 +64,35 @@ class TestSimulatorClock:
         sim.run()
         assert seen == ["urgent", "normal", "late"]
 
+    def test_run_until_inf_drains_and_keeps_clock(self):
+        # run(until=inf) drains the queue but must leave the clock at
+        # the last processed event, not at inf.
+        sim = Simulator()
+        sim.timeout(5.0)
+        sim.run(until=float("inf"))
+        assert sim.now == 5.0
+        assert sim.peek() == float("inf")
+
+    def test_run_until_inf_empty_queue(self):
+        sim = Simulator()
+        sim.run(until=float("inf"))
+        assert sim.now == 0.0
+
+    def test_run_until_now_is_noop(self):
+        sim = Simulator()
+        sim.timeout(2.0)
+        sim.run()
+        sim.run(until=2.0)  # until == now: processes nothing, keeps clock
+        assert sim.now == 2.0
+
+    def test_run_until_before_next_event_advances_clock_only(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_callback(4.0, lambda: fired.append(True))
+        sim.run(until=1.5)
+        assert sim.now == 1.5
+        assert not fired
+
     def test_not_reentrant(self):
         sim = Simulator()
         err = []

@@ -1,0 +1,106 @@
+"""Tests for the process-parallel sweep executor and driver determinism."""
+
+import os
+
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.executor import (
+    SweepTask,
+    default_parallelism,
+    run_sweep,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _pid_and_value(x):
+    return (os.getpid(), x)
+
+
+class TestDefaultParallelism:
+    def test_unset_means_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PARALLEL", raising=False)
+        assert default_parallelism() == 1
+
+    def test_env_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "4")
+        assert default_parallelism() == 4
+
+    def test_garbage_falls_back_to_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "lots")
+        assert default_parallelism() == 1
+
+    def test_nonpositive_clamped(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "-3")
+        assert default_parallelism() == 1
+
+
+class TestSweepTask:
+    def test_lambda_rejected(self):
+        with pytest.raises(TypeError):
+            SweepTask(lambda: 1)
+
+    def test_nested_function_rejected(self):
+        def local():
+            return 1
+
+        with pytest.raises(TypeError):
+            SweepTask(local)
+
+    def test_run(self):
+        assert SweepTask(_square, (3,)).run() == 9
+
+
+class TestRunSweep:
+    def test_serial_preserves_order(self):
+        tasks = [SweepTask(_square, (i,)) for i in range(10)]
+        assert run_sweep(tasks, parallel=1) == [i * i for i in range(10)]
+
+    def test_parallel_preserves_order(self):
+        tasks = [SweepTask(_square, (i,)) for i in range(10)]
+        assert run_sweep(tasks, parallel=3) == [i * i for i in range(10)]
+
+    def test_parallel_uses_worker_processes(self):
+        tasks = [SweepTask(_pid_and_value, (i,)) for i in range(4)]
+        results = run_sweep(tasks, parallel=2)
+        assert [value for _pid, value in results] == [0, 1, 2, 3]
+        assert all(pid != os.getpid() for pid, _value in results)
+
+    def test_empty_sweep(self):
+        assert run_sweep([]) == []
+
+    def test_env_default_applies(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "2")
+        tasks = [SweepTask(_pid_and_value, (i,)) for i in range(2)]
+        results = run_sweep(tasks)
+        assert all(pid != os.getpid() for pid, _value in results)
+
+
+class TestDriverDeterminism:
+    """Same seed ⇒ bit-identical figure output, serial vs parallel."""
+
+    def test_fig2_serial_vs_parallel(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAST", "1")
+        monkeypatch.delenv("REPRO_PARALLEL", raising=False)
+        serial = figures.fig2_write_phase_kraken(scales=(48,))
+        monkeypatch.setenv("REPRO_PARALLEL", "2")
+        parallel = figures.fig2_write_phase_kraken(scales=(48,))
+        assert repr(serial.rows) == repr(parallel.rows)
+        assert repr(serial.notes) == repr(parallel.notes)
+
+    def test_fig2_same_seed_bit_identical(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAST", "1")
+        monkeypatch.delenv("REPRO_PARALLEL", raising=False)
+        first = figures.fig2_write_phase_kraken(scales=(48,), seed=7)
+        second = figures.fig2_write_phase_kraken(scales=(48,), seed=7)
+        assert repr(first.rows) == repr(second.rows)
+
+    def test_fig2_seed_changes_output(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAST", "1")
+        monkeypatch.delenv("REPRO_PARALLEL", raising=False)
+        first = figures.fig2_write_phase_kraken(scales=(48,), seed=7)
+        second = figures.fig2_write_phase_kraken(scales=(48,), seed=8)
+        assert repr(first.rows) != repr(second.rows)
