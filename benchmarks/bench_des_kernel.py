@@ -14,12 +14,18 @@ Run directly (not via pytest) to (re)produce the JSON baseline::
 
     PYTHONPATH=src python benchmarks/bench_des_kernel.py            # full
     PYTHONPATH=src python benchmarks/bench_des_kernel.py --smoke    # CI
+    PYTHONPATH=src python benchmarks/bench_des_kernel.py --check    # CI
 
 The full run writes ``benchmarks/BENCH_des_kernel.json`` with wall
 times and scenario invariants (completed flows, bytes moved, final
 simulated clock) so later PRs can regress against both speed and
 results. ``--smoke`` shrinks every scenario and does **not** overwrite
 the committed baseline; it only checks the invariants still hold.
+``--check`` runs the full scenarios and *compares* against the
+committed baseline instead of rewriting it: scenario invariants must
+match and wall times must stay within ``--tolerance`` (default 0.10,
+or ``REPRO_BENCH_TOLERANCE``) of the recorded values — this is the
+guard that tracing hooks stay free when tracing is disabled.
 """
 
 from __future__ import annotations
@@ -113,11 +119,59 @@ def bench_fig2_sweep():
     }
 
 
+def check_against_baseline(results: dict, tolerance: float) -> int:
+    """Compare a full run against the committed baseline.
+
+    Invariant fields must match exactly (or near-exactly for float
+    accumulators); wall times may regress at most ``tolerance``
+    (relative). Returns the number of failures."""
+    with open(BASELINE_PATH, encoding="utf-8") as fh:
+        baseline = json.load(fh)["results"]
+    failures = 0
+    for name, recorded in baseline.items():
+        current = results.get(name)
+        if current is None:
+            print(f"CHECK FAIL {name}: scenario missing from this run")
+            failures += 1
+            continue
+        for key, expected in recorded.items():
+            got = current.get(key)
+            if key == "wall_s":
+                limit = expected * (1.0 + tolerance)
+                if got > limit:
+                    print(f"CHECK FAIL {name}.wall_s: {got:.3f} s > "
+                          f"{expected:.3f} s +{100 * tolerance:.0f} % "
+                          f"(limit {limit:.3f} s)")
+                    failures += 1
+                else:
+                    print(f"check ok   {name}.wall_s: {got:.3f} s "
+                          f"(baseline {expected:.3f} s, "
+                          f"limit {limit:.3f} s)")
+            elif isinstance(expected, float):
+                if abs(got - expected) > 1e-6 * max(1.0, abs(expected)):
+                    print(f"CHECK FAIL {name}.{key}: {got!r} != "
+                          f"{expected!r}")
+                    failures += 1
+            elif got != expected:
+                print(f"CHECK FAIL {name}.{key}: {got!r} != {expected!r}")
+                failures += 1
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
                         help="shrunken scenarios; check invariants only, "
                              "do not rewrite the baseline")
+    parser.add_argument("--check", action="store_true",
+                        help="full scenarios; compare wall times and "
+                             "invariants against the committed baseline "
+                             "instead of rewriting it")
+    parser.add_argument("--tolerance", type=float,
+                        default=float(os.environ.get(
+                            "REPRO_BENCH_TOLERANCE", "0.10")),
+                        help="relative wall-time regression allowed by "
+                             "--check (default 0.10)")
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -145,7 +199,14 @@ def main(argv=None) -> int:
         f"completion-tick leak: peak heap size {churn['peak_heap']} "
         f"during chained arrivals (expected a handful of live events)")
 
-    if not args.smoke:
+    if args.check:
+        failures = check_against_baseline(results, args.tolerance)
+        if failures:
+            print(f"check FAILED ({failures} deviation(s) from "
+                  f"{BASELINE_PATH})")
+            return 1
+        print("check ok")
+    elif not args.smoke:
         payload = {
             "bench": "des_kernel",
             "command": "PYTHONPATH=src python benchmarks/bench_des_kernel.py",

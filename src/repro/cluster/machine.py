@@ -15,6 +15,7 @@ from typing import List, Optional
 from repro.des.bandwidth import Flow, FlowNetwork, LinkCapacity
 from repro.des.core import Simulator
 from repro.des.monitor import Monitor
+from repro.observe.tracer import Tracer
 from repro.des.rng import RandomStreams
 from repro.cluster.node import Core, SMPNode
 from repro.cluster.noise import NoiseModel, OSNoise
@@ -81,6 +82,21 @@ class Machine:
                     memory_bytes=spec.memory_per_node)
             for i in range(spec.nodes)
         ]
+
+    # ------------------------------------------------------------------ #
+    # instrumentation
+    # ------------------------------------------------------------------ #
+    def attach_tracer(self, tracer: Tracer) -> Tracer:
+        """Route every model layer's instrumentation into ``tracer``,
+        rebinding its clock to simulated time."""
+        tracer.clock = lambda: self.sim.now
+        tracer.clock_name = "sim"
+        self.sim.tracer = tracer
+        return tracer
+
+    @property
+    def tracer(self) -> Tracer:
+        return self.sim.tracer
 
     # ------------------------------------------------------------------ #
     # lookup helpers

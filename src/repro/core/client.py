@@ -44,6 +44,11 @@ class DamarisClient:
         self.stall_time = 0.0
         self._finalized = False
 
+    @property
+    def trace_actor(self) -> str:
+        """Trace row identity of this client ("pid/tid" in Chrome terms)."""
+        return f"node{self.core.node.index}/rank{self.rank}"
+
     # ------------------------------------------------------------------ #
     # the API
     # ------------------------------------------------------------------ #
@@ -54,6 +59,8 @@ class DamarisClient:
         ``nbytes`` overrides the layout size (for variables whose actual
         extent differs, e.g. particle arrays)."""
         self._check_live()
+        sim = self.server.machine.sim
+        started = sim.now
         size = nbytes if nbytes is not None \
             else self.server.config.layout_of(name).nbytes
         block = yield from self._reserve(size)
@@ -64,6 +71,12 @@ class DamarisClient:
             block=block, client=self.local_id))
         self.writes += 1
         self.bytes_written += size
+        tracer = sim.tracer
+        if tracer.enabled:
+            tracer.record_span(
+                "df_write", name, self.trace_actor, started, sim.now,
+                variable=name, iteration=iteration, nbytes=int(size),
+                rank=self.rank)
         return size
 
     def dc_alloc(self, name: str, iteration: int):
@@ -91,6 +104,12 @@ class DamarisClient:
         self.server.config.action_for(name)
         yield from self._notify(UserEvent(
             name=name, iteration=iteration, source=self.rank))
+        sim = self.server.machine.sim
+        tracer = sim.tracer
+        if tracer.enabled:
+            tracer.record_event(
+                "df_signal", name, self.trace_actor,
+                event=name, iteration=iteration, rank=self.rank)
 
     def df_finalize(self):
         """Process: release this client (server stops after the last one)."""
@@ -123,6 +142,12 @@ class DamarisClient:
             if block is not None:
                 if stall_started is not None:
                     self.stall_time += sim.now - stall_started
+                    tracer = sim.tracer
+                    if tracer.enabled:
+                        tracer.record_span(
+                            "shm_stall", "buffer_full", self.trace_actor,
+                            stall_started, sim.now, nbytes=int(size),
+                            rank=self.rank)
                 return block
             if stall_started is None:
                 stall_started = sim.now

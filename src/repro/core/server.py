@@ -93,6 +93,11 @@ class DedicatedCoreServer:
         self._busy_accumulator: Dict[int, float] = {}
         self.running = False
 
+    @property
+    def trace_actor(self) -> str:
+        """Trace row identity of this server ("pid/tid" in Chrome terms)."""
+        return f"node{self.node.index}/server-core{self.core.index}"
+
     # ------------------------------------------------------------------ #
     # main loop
     # ------------------------------------------------------------------ #
@@ -135,14 +140,20 @@ class DedicatedCoreServer:
         entries = self.store.iteration_entries(iteration)
         if model is None or not entries:
             return
-        started = self.machine.sim.now
+        sim = self.machine.sim
+        started = sim.now
         total = sum(entry.nbytes for entry in entries)
-        yield self.machine.sim.timeout(model.cpu_seconds(total))
+        yield sim.timeout(model.cpu_seconds(total))
         for entry in entries:
             entry.processed_bytes = int(model.output_bytes(entry.nbytes))
         self._busy_accumulator[iteration] = (
             self._busy_accumulator.get(iteration, 0.0)
-            + (self.machine.sim.now - started))
+            + (sim.now - started))
+        tracer = sim.tracer
+        if tracer.enabled:
+            tracer.record_span(
+                "compress", f"iter{iteration}", self.trace_actor,
+                started, sim.now, iteration=iteration, nbytes=int(total))
 
     def persist_iteration(self, iteration: int):
         """Process: write the iteration's variables as one per-node file."""
@@ -184,6 +195,13 @@ class DedicatedCoreServer:
         self.bytes_raw += raw
         self.bytes_out += out
         self.files_written += 1
+        tracer = sim.tracer
+        if tracer.enabled:
+            tracer.record_span(
+                "persist", f"iter{iteration}", self.trace_actor,
+                busy_start, sim.now, iteration=iteration, path=path,
+                nbytes=int(out), raw_bytes=int(raw),
+                entries=len(entries))
         monitor = self.machine.monitor
         monitor.series(f"damaris.node{self.node.index}.write_time").record(
             self.machine.sim.now, busy)

@@ -12,6 +12,7 @@ import math
 from typing import Any, Callable, List, Optional
 
 from repro.errors import SimulationError
+from repro.observe.tracer import NULL_TRACER
 
 __all__ = ["Event", "Simulator", "Timeout", "PRIORITY_URGENT",
            "PRIORITY_NORMAL", "PRIORITY_LATE"]
@@ -152,6 +153,12 @@ class Simulator:
         self._heap: List[Any] = []
         self._seq = 0
         self._running = False
+        #: Instrumentation sink every model layer reaches through the
+        #: simulator it already holds. The shared no-op tracer keeps the
+        #: disabled hot path to one attribute load + one branch; swap in
+        #: a real :class:`repro.observe.Tracer` (sim-time clock) to
+        #: record — see :meth:`repro.cluster.machine.Machine.attach_tracer`.
+        self.tracer = NULL_TRACER
 
     @property
     def now(self) -> float:

@@ -40,6 +40,8 @@ from repro.experiments.platforms import (
 )
 from repro.experiments.report import FigureReport
 from repro.formats.compression import GZIP16_MODEL, GZIP_MODEL
+from repro.observe.export import dump_jsonl
+from repro.observe.tracer import Tracer
 from repro.strategies import (
     CollectiveIOStrategy,
     DamarisStrategy,
@@ -139,7 +141,12 @@ def _strategy_from_spec(spec: Dict[str, Any], preset: PlatformPreset):
 
 
 def _run_spec(spec: Dict[str, Any]) -> ExperimentResult:
-    """Execute one sweep spec (module-level: picklable for worker pools)."""
+    """Execute one sweep spec (module-level: picklable for worker pools).
+
+    With ``REPRO_TRACE=<dir>`` in the environment (the ``--trace`` flag
+    of the figure CLIs), the run records a full trace and dumps it to
+    ``<dir>/<label>.jsonl`` — one file per sweep configuration, worker
+    processes included, since each spec carries its own label."""
     preset = _PRESETS[spec["preset"]]()
     workload = None
     if "nvariables" in spec:
@@ -148,20 +155,35 @@ def _run_spec(spec: Dict[str, Any]) -> ExperimentResult:
     run_kwargs: Dict[str, Any] = {}
     if spec.get("run_compression"):
         run_kwargs["compression"] = _COMPRESSION[spec["run_compression"]]
-    return _run(preset, spec["ncores"], strategy, workload=workload,
-                seed=spec.get("seed", 42),
-                write_phases=spec.get("write_phases"), **run_kwargs)
+    trace_dir = os.environ.get("REPRO_TRACE", "")
+    tracer = None
+    if trace_dir:
+        tracer = Tracer()
+        run_kwargs["tracer"] = tracer
+    result = _run(preset, spec["ncores"], strategy, workload=workload,
+                  seed=spec.get("seed", 42),
+                  write_phases=spec.get("write_phases"), **run_kwargs)
+    if tracer is not None:
+        label = spec.get(
+            "trace_label",
+            f"{spec['preset']}-{spec['ncores']}"
+            f"-{spec['strategy']['kind']}")
+        os.makedirs(trace_dir, exist_ok=True)
+        dump_jsonl(tracer, os.path.join(
+            trace_dir, label.replace("/", "-") + ".jsonl"))
+    return result
 
 
 def _sweep(specs: Sequence[Dict[str, Any]],
            prefix: str) -> List[ExperimentResult]:
-    tasks = [
-        SweepTask(
-            _run_spec, (spec,),
-            label=(f"{prefix}/{spec['preset']}/{spec['ncores']}"
-                   f"/{spec['strategy']['kind']}"))
-        for spec in specs
-    ]
+    tasks = []
+    for i, spec in enumerate(specs):
+        label = (f"{prefix}/{spec['preset']}/{spec['ncores']}"
+                 f"/{spec['strategy']['kind']}")
+        # The index keeps trace files apart when a sweep repeats the
+        # same (preset, scale, strategy) with different parameters.
+        spec = dict(spec, trace_label=f"{label}/{i:02d}")
+        tasks.append(SweepTask(_run_spec, (spec,), label=label))
     return run_sweep(tasks)
 
 

@@ -29,6 +29,7 @@ from repro.errors import ReproError
 from repro.formats.compression import CompressionModel
 from repro.formats.hdf5model import HDF5CostModel
 from repro.mpi.comm import Communicator
+from repro.observe.tracer import Tracer
 from repro.storage.filesystem import ParallelFileSystem
 from repro.strategies.base import IOStrategy, StrategyContext
 
@@ -129,11 +130,19 @@ def run_experiment(machine: Machine, fs: ParallelFileSystem,
                    write_phases: int = 1,
                    compression: Optional[CompressionModel] = None,
                    hdf5: Optional[HDF5CostModel] = None,
-                   compute_blocks_per_phase: int = 1) -> ExperimentResult:
+                   compute_blocks_per_phase: int = 1,
+                   tracer: Optional[Tracer] = None) -> ExperimentResult:
     """Run ``write_phases`` output cycles of the workload under
-    ``strategy`` and return the measurements."""
+    ``strategy`` and return the measurements.
+
+    Passing a ``tracer`` attaches it to the machine's simulator clock:
+    every instrumented layer (clients, servers, storage, locks) records
+    into it, and the harness itself adds one ``write_phase`` span per
+    (rank, phase)."""
     if write_phases < 1:
         raise ReproError("need at least one write phase")
+    if tracer is not None:
+        machine.attach_tracer(tracer)
 
     cores_per_node = machine.spec.cores_per_node
     dedicated = (strategy.dedicated_cores_per_node
@@ -169,6 +178,14 @@ def run_experiment(machine: Machine, fs: ParallelFileSystem,
             entered = machine.sim.now
             yield from strategy.write_phase(ctx, rank, phase)
             rank_times[phase, rank] = machine.sim.now - entered
+            trace = machine.sim.tracer
+            if trace.enabled:
+                node = comm.node_of(rank)
+                trace.record_span(
+                    "write_phase", f"phase{phase}",
+                    f"node{node.index}/rank{rank}",
+                    entered, machine.sim.now, rank=rank, phase=phase,
+                    strategy=strategy.name)
             yield from comm.barrier(rank)
             if rank == 0:
                 phase_ends[phase] = machine.sim.now

@@ -14,10 +14,13 @@ from typing import Dict, Tuple
 
 import numpy as np
 
+from typing import Optional
+
 from repro.core.config import DamarisConfig
 from repro.core.equeue import Shutdown, UserEvent, WriteNotification
 from repro.core.shm import Block
 from repro.errors import ReproError, ShmAllocationError
+from repro.observe.tracer import NULL_TRACER, Tracer
 from repro.runtime.events import RuntimeQueue
 from repro.runtime.shmem import RuntimeBuffer
 
@@ -28,12 +31,16 @@ class RuntimeClient:
     """One simulation core's handle to its node's Damaris server."""
 
     def __init__(self, config: DamarisConfig, buffer: RuntimeBuffer,
-                 queue: RuntimeQueue, rank: int, local_id: int) -> None:
+                 queue: RuntimeQueue, rank: int, local_id: int,
+                 tracer: Optional[Tracer] = None,
+                 trace_actor: str = "") -> None:
         self.config = config
         self.buffer = buffer
         self.queue = queue
         self.rank = rank
         self.local_id = local_id
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.trace_actor = trace_actor or f"rank{rank}"
         self.writes = 0
         self.bytes_written = 0
         #: Wall-clock seconds spent inside df_write/dc_commit calls — the
@@ -55,6 +62,7 @@ class RuntimeClient:
                 f"array (shape {array.shape}, dtype {array.dtype}) does "
                 f"not match layout {layout.name!r} of variable {name!r}")
         started = time.perf_counter()
+        trace_started = self.tracer.now() if self.tracer.enabled else 0.0
         block = self.buffer.allocate(layout.nbytes, client=self.local_id)
         self.buffer.write_array(block, array)
         self.queue.put(WriteNotification(
@@ -63,6 +71,11 @@ class RuntimeClient:
         self.write_call_seconds += time.perf_counter() - started
         self.writes += 1
         self.bytes_written += layout.nbytes
+        if self.tracer.enabled:
+            self.tracer.record_span(
+                "df_write", name, self.trace_actor, trace_started,
+                self.tracer.now(), variable=name, iteration=iteration,
+                nbytes=int(layout.nbytes), rank=self.rank)
 
     def df_write_dynamic(self, name: str, iteration: int,
                          array: np.ndarray) -> None:
@@ -127,6 +140,10 @@ class RuntimeClient:
         self.config.action_for(name)  # validate before queueing
         self.queue.put(UserEvent(name=name, iteration=iteration,
                                  source=self.rank))
+        if self.tracer.enabled:
+            self.tracer.record_event(
+                "df_signal", name, self.trace_actor,
+                event=name, iteration=iteration, rank=self.rank)
 
     def df_finalize(self) -> None:
         """Release the client; the server stops after the last one."""

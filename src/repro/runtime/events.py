@@ -3,24 +3,50 @@
 Carries the same message types as the DES back-end
 (:mod:`repro.core.equeue`) between client threads and the dedicated
 server thread.
+
+:meth:`RuntimeQueue.get` distinguishes its two "nothing arrived"
+outcomes: :data:`QUEUE_CLOSED` means the queue was closed and drained
+(no message will ever arrive again), ``None`` means the timeout expired
+(a message may still arrive). Collapsing the two is what used to make a
+server treat a long compute phase as a shutdown.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from typing import Any, Optional
 
 from repro.errors import RuntimeShutdownError
+from repro.observe.tracer import NULL_TRACER, Tracer
 
-__all__ = ["RuntimeQueue"]
+__all__ = ["RuntimeQueue", "QUEUE_CLOSED"]
+
+
+class _QueueClosed:
+    """Sentinel type of :data:`QUEUE_CLOSED` (compare with ``is``)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "QUEUE_CLOSED"
+
+
+#: Returned by :meth:`RuntimeQueue.get` when the queue is closed *and*
+#: empty — distinct from ``None``, which only means the timeout expired.
+QUEUE_CLOSED = _QueueClosed()
 
 
 class RuntimeQueue:
     """A bounded FIFO with blocking put/get (deque + condition)."""
 
-    def __init__(self, capacity: int = 1024) -> None:
+    def __init__(self, capacity: int = 1024,
+                 tracer: Optional[Tracer] = None,
+                 trace_actor: str = "queue") -> None:
         self.capacity = capacity
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.trace_actor = trace_actor
         self._items: deque = deque()
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
@@ -28,25 +54,66 @@ class RuntimeQueue:
         self._closed = False
 
     def put(self, item: Any, timeout: Optional[float] = 30.0) -> None:
+        """Append ``item``, blocking while the queue is at capacity.
+
+        Raises :class:`RuntimeShutdownError` if the queue is (or
+        becomes) closed, or if the real ``timeout`` deadline passes —
+        closedness is re-checked on every wakeup, so a producer blocked
+        on a full queue learns about a close immediately instead of
+        after its full timeout.
+        """
+        deadline = None if timeout is None \
+            else time.monotonic() + timeout
         with self._not_full:
-            while len(self._items) >= self.capacity:
-                if not self._not_full.wait(timeout=timeout):
-                    raise RuntimeShutdownError("event queue is full")
-            if self._closed:
-                raise RuntimeShutdownError("event queue is closed")
+            while True:
+                if self._closed:
+                    raise RuntimeShutdownError("event queue is closed")
+                if len(self._items) < self.capacity:
+                    break
+                if deadline is None:
+                    self._not_full.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 \
+                            or not self._not_full.wait(timeout=remaining):
+                        raise RuntimeShutdownError("event queue is full")
             self._items.append(item)
+            depth = len(self._items)
             self._not_empty.notify()
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.record_event("queue_depth", "put", self.trace_actor,
+                                depth=depth)
 
     def get(self, timeout: Optional[float] = None) -> Any:
+        """Pop the oldest item.
+
+        Returns :data:`QUEUE_CLOSED` once the queue is closed and
+        drained, ``None`` when the deadline expires with the queue still
+        open (the caller may retry). The deadline is real: spurious
+        wakeups re-wait only the remaining time.
+        """
+        deadline = None if timeout is None \
+            else time.monotonic() + timeout
         with self._not_empty:
             while not self._items:
                 if self._closed:
-                    return None
-                if not self._not_empty.wait(timeout=timeout):
-                    return None
+                    return QUEUE_CLOSED
+                if deadline is None:
+                    self._not_empty.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 \
+                            or not self._not_empty.wait(timeout=remaining):
+                        return None
             item = self._items.popleft()
+            depth = len(self._items)
             self._not_full.notify()
-            return item
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.record_event("queue_depth", "get", self.trace_actor,
+                                depth=depth)
+        return item
 
     def close(self) -> None:
         with self._lock:

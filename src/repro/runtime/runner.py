@@ -14,6 +14,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.core.config import DamarisConfig
 from repro.errors import ConfigurationError, RuntimeShutdownError
+from repro.observe.tracer import NULL_TRACER, Tracer
 from repro.runtime.client import RuntimeClient
 from repro.runtime.events import RuntimeQueue
 from repro.runtime.server import RuntimeServer, RuntimeStats
@@ -27,13 +28,16 @@ class DamarisRuntime:
 
     def __init__(self, config: DamarisConfig, output_dir: str,
                  nodes: int = 1, clients_per_node: int = 1,
-                 actions: Optional[Dict[str, Callable]] = None) -> None:
+                 actions: Optional[Dict[str, Callable]] = None,
+                 server_poll_timeout: float = 60.0,
+                 tracer: Optional[Tracer] = None) -> None:
         config.validate()
         if nodes < 1 or clients_per_node < 1:
             raise ConfigurationError("need >= 1 node and >= 1 client")
         self.config = config
         self.output_dir = output_dir
         os.makedirs(output_dir, exist_ok=True)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.servers: List[RuntimeServer] = []
         self.clients: List[RuntimeClient] = []
         self._running = True
@@ -41,18 +45,26 @@ class DamarisRuntime:
         for node in range(nodes):
             buffer = RuntimeBuffer(config.buffer_size,
                                    allocator=config.allocator,
-                                   nclients=clients_per_node)
-            queue = RuntimeQueue(config.queue_size)
+                                   nclients=clients_per_node,
+                                   tracer=self.tracer,
+                                   trace_actor=f"node{node}/shm")
+            queue = RuntimeQueue(config.queue_size,
+                                 tracer=self.tracer,
+                                 trace_actor=f"node{node}/queue")
             server = RuntimeServer(node, config, buffer, queue,
                                    nclients=clients_per_node,
                                    output_dir=output_dir,
-                                   actions=actions)
+                                   actions=actions,
+                                   poll_timeout=server_poll_timeout,
+                                   tracer=self.tracer)
             server.start()
             self.servers.append(server)
             for local in range(clients_per_node):
+                rank = node * clients_per_node + local
                 self.clients.append(RuntimeClient(
-                    config, buffer, queue,
-                    rank=node * clients_per_node + local, local_id=local))
+                    config, buffer, queue, rank=rank, local_id=local,
+                    tracer=self.tracer,
+                    trace_actor=f"node{node}/rank{rank}"))
 
     # ------------------------------------------------------------------ #
     def client(self, rank: int) -> RuntimeClient:

@@ -23,10 +23,11 @@ import numpy as np
 from repro.core.config import DamarisConfig
 from repro.core.equeue import Shutdown, UserEvent, WriteNotification
 from repro.core.metadata import StoredVariable, VariableStore
-from repro.errors import PluginError
+from repro.errors import PluginError, RuntimeShutdownError
 from repro.formats.compression import Codec, GzipCodec, Precision16Codec
 from repro.formats.shdf import SHDFWriter
-from repro.runtime.events import RuntimeQueue
+from repro.observe.tracer import NULL_TRACER, Tracer
+from repro.runtime.events import QUEUE_CLOSED, RuntimeQueue
 from repro.runtime.shmem import RuntimeBuffer
 
 __all__ = ["RuntimeServer", "RuntimeStats", "RuntimeActionContext"]
@@ -75,7 +76,9 @@ class RuntimeServer(threading.Thread):
     def __init__(self, node_index: int, config: DamarisConfig,
                  buffer: RuntimeBuffer, queue: RuntimeQueue,
                  nclients: int, output_dir: str,
-                 actions: Optional[Dict[str, Callable]] = None) -> None:
+                 actions: Optional[Dict[str, Callable]] = None,
+                 poll_timeout: float = 60.0,
+                 tracer: Optional[Tracer] = None) -> None:
         super().__init__(name=f"damaris-server-{node_index}", daemon=True)
         self.node_index = node_index
         self.config = config
@@ -84,11 +87,21 @@ class RuntimeServer(threading.Thread):
         self.nclients = nclients
         self.output_dir = output_dir
         self.custom_actions = dict(actions or {})
+        #: How long one queue poll waits. A timeout is *not* a shutdown:
+        #: the server keeps polling (counting ``idle_timeouts``) until
+        #: every client finalizes or the queue closes.
+        self.poll_timeout = poll_timeout
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.store = VariableStore()
         self.stats = RuntimeStats()
         self.errors: List[BaseException] = []
+        self.idle_timeouts = 0
         self._arrivals: Dict[tuple, int] = {}
         self._finalized = 0
+
+    @property
+    def trace_actor(self) -> str:
+        return f"node{self.node_index}/server"
 
     # ------------------------------------------------------------------ #
     # thread body
@@ -96,8 +109,24 @@ class RuntimeServer(threading.Thread):
     def run(self) -> None:
         try:
             while True:
-                message = self.queue.get(timeout=60.0)
+                message = self.queue.get(timeout=self.poll_timeout)
                 if message is None:
+                    # Poll timeout — the clients are just computing.
+                    self.idle_timeouts += 1
+                    continue
+                if message is QUEUE_CLOSED:
+                    if self._finalized < self.nclients:
+                        # Closed under us before every client finalized:
+                        # an abnormal teardown, not a clean shutdown.
+                        error = RuntimeShutdownError(
+                            f"server {self.node_index}: queue closed with "
+                            f"{self.nclients - self._finalized} of "
+                            f"{self.nclients} clients not finalized")
+                        self.errors.append(error)
+                        if self.tracer.enabled:
+                            self.tracer.record_event(
+                                "error", "premature_close",
+                                self.trace_actor, message=str(error))
                     break
                 if isinstance(message, WriteNotification):
                     self._on_write(message)
@@ -107,11 +136,18 @@ class RuntimeServer(threading.Thread):
                     self._finalized += 1
                     if self._finalized >= self.nclients:
                         break
-            # Flush anything still buffered.
-            for iteration in self.store.iterations():
-                self._persist(iteration, codecs=())
+            # Flush anything still buffered. Snapshot the iteration list:
+            # _persist pops each iteration from the store as it lands.
+            # The flush honours the configured persist-family action, so
+            # trailing iterations get the same codecs as signalled ones.
+            for iteration in list(self.store.iterations()):
+                self._persist(iteration, codecs=self._flush_codecs())
         except BaseException as exc:  # surface in the main thread
             self.errors.append(exc)
+            if self.tracer.enabled:
+                self.tracer.record_event(
+                    "error", type(exc).__name__, self.trace_actor,
+                    message=str(exc))
 
     def _on_write(self, message: WriteNotification) -> None:
         layout = self.config.layout_of(message.variable)
@@ -143,13 +179,9 @@ class RuntimeServer(threading.Thread):
             self.custom_actions[action](
                 RuntimeActionContext(self, event, entries))
             return
-        if action == "persist":
-            self._persist(event.iteration, codecs=())
-        elif action == "compress":
-            self._persist(event.iteration, codecs=(GzipCodec(),))
-        elif action == "compress16":
-            self._persist(event.iteration,
-                          codecs=(Precision16Codec(), GzipCodec()))
+        codecs = self._codecs_for_action(action)
+        if codecs is not None:
+            self._persist(event.iteration, codecs=codecs)
         elif action == "statistics":
             self._statistics(event.iteration)
         elif action == "discard":
@@ -158,6 +190,26 @@ class RuntimeServer(threading.Thread):
             raise PluginError(
                 f"unknown action {action!r}; standard actions are "
                 f"{STANDARD_ACTIONS} (or register a custom callable)")
+
+    @staticmethod
+    def _codecs_for_action(action: str) -> Optional[tuple]:
+        """Codec pipeline of a persist-family action (None otherwise)."""
+        if action == "persist":
+            return ()
+        if action == "compress":
+            return (GzipCodec(),)
+        if action == "compress16":
+            return (Precision16Codec(), GzipCodec())
+        return None
+
+    def _flush_codecs(self) -> tuple:
+        """Codecs for the end-of-run flush: those of the first configured
+        persist-family action (raw persist when none is configured)."""
+        for spec in self.config.actions.values():
+            codecs = self._codecs_for_action(spec.action)
+            if codecs is not None:
+                return codecs
+        return ()
 
     # ------------------------------------------------------------------ #
     # actions
@@ -192,6 +244,14 @@ class RuntimeServer(threading.Thread):
         self.stats.bytes_in[iteration] = bytes_in
         self.stats.bytes_out[iteration] = bytes_out
         self.stats.files.append(path)
+        tracer = self.tracer
+        if tracer.enabled:
+            end = tracer.now()
+            tracer.record_span(
+                "persist", f"iter{iteration}", self.trace_actor,
+                end - elapsed, end, iteration=iteration, path=path,
+                nbytes=int(bytes_out), raw_bytes=int(bytes_in),
+                entries=len(entries), codecs=[c.name for c in codecs])
 
     def _statistics(self, iteration: int) -> None:
         entries = self.store.iteration_entries(iteration)

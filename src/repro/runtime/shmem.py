@@ -10,12 +10,14 @@ gives the simulation a window it can compute into directly (zero copy).
 from __future__ import annotations
 
 import threading
+import time
 from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.core.shm import Block, MutexAllocator, PartitionedAllocator
 from repro.errors import ShmAllocationError
+from repro.observe.tracer import NULL_TRACER, Tracer
 
 __all__ = ["RuntimeBuffer"]
 
@@ -24,7 +26,9 @@ class RuntimeBuffer:
     """A byte arena with blocking allocation and numpy views."""
 
     def __init__(self, capacity: int, allocator: str = "mutex",
-                 nclients: int = 1) -> None:
+                 nclients: int = 1,
+                 tracer: Optional[Tracer] = None,
+                 trace_actor: str = "shm") -> None:
         self._arena = np.zeros(capacity, dtype=np.uint8)
         self.capacity = capacity
         if allocator == "mutex":
@@ -35,6 +39,8 @@ class RuntimeBuffer:
             raise ShmAllocationError(f"unknown allocator {allocator!r}")
         self._lock = threading.Lock()
         self._freed = threading.Condition(self._lock)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.trace_actor = trace_actor
         self.stalls = 0
         self.bytes_reserved = 0
 
@@ -49,18 +55,39 @@ class RuntimeBuffer:
 
     def allocate(self, nbytes: int, client: int = 0,
                  timeout: Optional[float] = 30.0) -> Block:
-        """Reserve ``nbytes``, blocking while the buffer is full."""
+        """Reserve ``nbytes``, blocking while the buffer is full.
+
+        ``timeout`` is a real deadline: spurious (or unhelpful) wakeups
+        re-wait only the remaining time, so a stream of frees that never
+        makes room cannot postpone the :class:`ShmAllocationError`
+        forever.
+        """
+        deadline = None if timeout is None \
+            else time.monotonic() + timeout
+        stall_started = None
         with self._freed:
             block = self._allocator.allocate(nbytes, client)
             while block is None:
                 self.stalls += 1
-                if not self._freed.wait(timeout=timeout):
-                    raise ShmAllocationError(
-                        f"timed out waiting for {nbytes} B of buffer space "
-                        f"(capacity {self.capacity} B)")
+                if stall_started is None and self.tracer.enabled:
+                    stall_started = self.tracer.now()
+                if deadline is None:
+                    self._freed.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 \
+                            or not self._freed.wait(timeout=remaining):
+                        raise ShmAllocationError(
+                            f"timed out waiting for {nbytes} B of buffer "
+                            f"space (capacity {self.capacity} B)")
                 block = self._allocator.allocate(nbytes, client)
             self.bytes_reserved += nbytes
-            return block
+        if stall_started is not None:
+            self.tracer.record_span(
+                "shm_stall", "buffer_full", self.trace_actor,
+                stall_started, self.tracer.now(),
+                nbytes=int(nbytes), client=client)
+        return block
 
     def free(self, block: Block, client: int = 0) -> None:
         with self._freed:

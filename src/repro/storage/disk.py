@@ -166,8 +166,10 @@ class StorageTarget:
         is the contiguous access size (defaults to the whole segment).
         """
         spec = self.spec
+        sim = self.machine.sim
+        started = sim.now
         if spec.request_latency > 0:
-            yield self.machine.sim.timeout(spec.request_latency)
+            yield sim.timeout(spec.request_latency)
         self._enter(file_id)
         slot = None
         try:
@@ -187,13 +189,22 @@ class StorageTarget:
             self._leave(file_id)
             self.bytes_written += nbytes
             self.requests_served += 1
+            tracer = sim.tracer
+            if tracer.enabled:
+                tracer.record_span(
+                    "net_transfer", label, f"storage/{self.name}",
+                    started, sim.now, target=self.name,
+                    nbytes=int(nbytes), file_id=file_id,
+                    source=f"node{source.index}")
 
     def read_segment(self, dest: "SMPNode", nbytes: float,
                      file_id: int = -1, label: str = "read"):
         """Process: move ``nbytes`` from this target to ``dest``."""
         spec = self.spec
+        sim = self.machine.sim
+        started = sim.now
         if spec.request_latency > 0:
-            yield self.machine.sim.timeout(spec.request_latency)
+            yield sim.timeout(spec.request_latency)
         self._enter(file_id)
         slot = None
         try:
@@ -212,6 +223,13 @@ class StorageTarget:
             if slot is not None:
                 self._service_slots.release(slot)
             self._leave(file_id)
+            tracer = sim.tracer
+            if tracer.enabled:
+                tracer.record_span(
+                    "net_transfer", label, f"storage/{self.name}",
+                    started, sim.now, target=self.name,
+                    nbytes=int(nbytes), file_id=file_id,
+                    source=f"node{dest.index}", direction="read")
 
     def _enter(self, file_id: int) -> None:
         self.active_streams += 1

@@ -176,6 +176,8 @@ class ParallelFileSystem:
             raise StorageError(f"write on closed handle {handle.file.path!r}")
         if nbytes <= 0:
             return 0
+        sim = self.machine.sim
+        started = sim.now
         file = handle.file
         segments = file.layout.split(offset, nbytes)
         if self.locks is not None and file.shared:
@@ -201,6 +203,13 @@ class ParallelFileSystem:
             yield AllOf(self.machine.sim, transfers)
         file.size = max(file.size, offset + nbytes)
         self.bytes_written += nbytes
+        tracer = sim.tracer
+        if tracer.enabled:
+            tracer.record_span(
+                "fs_write", label, f"node{handle.node.index}/fs",
+                started, sim.now, path=file.path, nbytes=int(nbytes),
+                owner=handle.owner, shared=file.shared,
+                **file.layout.trace_attrs(offset, nbytes))
         return nbytes
 
     @staticmethod

@@ -67,6 +67,8 @@ class ExtentLockManager:
         nothing is held after acquire returns — boundary serialisation is
         resolved here, matching Lustre's revoke-then-grant behaviour).
         """
+        sim = self.machine.sim
+        tracer = sim.tracer
         revokes = 0
         for stripe in full_stripes:
             key = (file_id, stripe)
@@ -87,20 +89,31 @@ class ExtentLockManager:
             # Serial flush of the contested boundary stripe.
             slot = self._stripe_slots.get(key)
             if slot is None:
-                slot = self._stripe_slots[key] = Resource(
-                    self.machine.sim, capacity=1)
+                slot = self._stripe_slots[key] = Resource(sim, capacity=1)
+            flush_started = sim.now
             request = slot.request()
             yield request
             self.boundary_waits += 1
             try:
-                yield self.machine.sim.timeout(
-                    overlap_bytes / self.flush_bandwidth)
+                yield sim.timeout(overlap_bytes / self.flush_bandwidth)
             finally:
                 slot.release(request)
+                if tracer.enabled:
+                    tracer.record_span(
+                        "stripe_flush", f"stripe{stripe}",
+                        f"locks/file{file_id}", flush_started, sim.now,
+                        file_id=file_id, stripe=stripe,
+                        nbytes=int(overlap_bytes), owner=owner,
+                        previous=previous)
 
         if revokes:
             self.revocations += revokes
-            yield self.machine.sim.timeout(self.revoke_latency * revokes)
+            if tracer.enabled:
+                tracer.record_event(
+                    "lock_revoke", f"file{file_id}",
+                    f"locks/file{file_id}", file_id=file_id,
+                    owner=owner, revokes=revokes)
+            yield sim.timeout(self.revoke_latency * revokes)
 
     def acquire_expansive(self, file_id: int, owner: int,
                           target_bytes: Dict[int, float]):
@@ -110,6 +123,8 @@ class ExtentLockManager:
         writes there. For each object whose previous holder differs, the
         previous holder's dirty data flushes serially before this writer
         may proceed (one revocation round-trip plus the flush)."""
+        sim = self.machine.sim
+        tracer = sim.tracer
         for target, nbytes in target_bytes.items():
             key = (file_id, target)
             self.acquisitions += 1
@@ -118,19 +133,31 @@ class ExtentLockManager:
             if previous is None or previous[0] == owner:
                 continue
             self.revocations += 1
+            if tracer.enabled:
+                tracer.record_event(
+                    "lock_revoke", f"file{file_id}/t{target}",
+                    f"locks/file{file_id}", file_id=file_id,
+                    target=target, owner=owner, previous=previous[0])
             slot = self._object_slots.get(key)
             if slot is None:
-                slot = self._object_slots[key] = Resource(
-                    self.machine.sim, capacity=1)
+                slot = self._object_slots[key] = Resource(sim, capacity=1)
+            flush_started = sim.now
             request = slot.request()
             yield request
             self.boundary_waits += 1
             try:
-                yield self.machine.sim.timeout(
+                yield sim.timeout(
                     self.revoke_latency
                     + previous[1] / self.flush_bandwidth)
             finally:
                 slot.release(request)
+                if tracer.enabled:
+                    tracer.record_span(
+                        "stripe_flush", f"object{target}",
+                        f"locks/file{file_id}", flush_started, sim.now,
+                        file_id=file_id, target=target,
+                        nbytes=int(previous[1]), owner=owner,
+                        previous=previous[0])
 
     def contended_stripes(self) -> int:
         return len(self._stripe_slots)

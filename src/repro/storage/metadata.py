@@ -63,17 +63,26 @@ class MetadataServer:
     def operate(self, op: str):
         """Process: perform one metadata operation (queue + service time)."""
         base = self.spec.service_time(op)
+        sim = self.machine.sim
+        started = sim.now
         req = self._queue.request()
         try:
             yield req
             jitter = (float(self._stream.lognormal(0.0, self.spec.sigma))
                       if self.spec.sigma > 0 else 1.0)
             service = base * jitter
-            yield self.machine.sim.timeout(service)
+            yield sim.timeout(service)
             self.busy_time += service
             self.ops_served[op] = self.ops_served.get(op, 0) + 1
         finally:
             self._queue.release(req)
+            tracer = sim.tracer
+            if tracer.enabled:
+                # Queueing delay is (span duration - service): the MDS
+                # storm signature file-per-process produces at scale.
+                tracer.record_span(
+                    "metadata_op", op, f"storage/{self.name}",
+                    started, sim.now, server=self.name)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<MetadataServer {self.name} queue={self.queue_length} "

@@ -91,6 +91,15 @@ class StripeLayout:
                 position = stripe_end
         return out
 
+    def trace_attrs(self, offset: int, nbytes: int) -> Dict[str, int]:
+        """Striping facts attached to a request's ``fs_write`` span."""
+        return {
+            "stripe_size": self.stripe_size,
+            "stripe_count": self.stripe_count,
+            "stripes": len(self.stripes_touched(offset, nbytes)),
+            "targets": len(self.split(offset, nbytes)),
+        }
+
     def stripes_touched(self, offset: int, nbytes: int) -> range:
         """Global stripe numbers covered by the request (for lock managers)."""
         if nbytes <= 0:

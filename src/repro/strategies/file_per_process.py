@@ -33,10 +33,19 @@ class FilePerProcessStrategy(IOStrategy):
                     "FilePerProcessStrategy(compress=True) needs "
                     "ctx.compression")
             # gzip runs on the compute core, inside the write phase.
+            started = machine.sim.now
             yield machine.sim.timeout(
                 ctx.compression.cpu_seconds(data_bytes))
+            raw_bytes = data_bytes
             data_bytes = ctx.hdf5.compressed_bytes(data_bytes,
                                                    ctx.compression)
+            tracer = machine.sim.tracer
+            if tracer.enabled:
+                tracer.record_span(
+                    "compress", f"phase{phase}",
+                    f"node{node.index}/rank{rank}", started,
+                    machine.sim.now, rank=rank, phase=phase,
+                    nbytes=int(raw_bytes))
 
         pack = ctx.hdf5.pack_time(data_bytes)
         if pack > 0:

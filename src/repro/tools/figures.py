@@ -7,10 +7,15 @@ Usage::
     python -m repro.tools.figures all        # regenerate everything
     REPRO_FAST=1 python -m repro.tools.figures fig4   # trimmed sweep
     python -m repro.tools.figures --parallel 4 all    # 4 worker processes
+    python -m repro.tools.figures --trace traces/ fig2   # record traces
 
 ``--parallel N`` (or ``REPRO_PARALLEL=N`` in the environment) fans the
 independent sweep configurations of each driver out over ``N`` worker
 processes; results are bit-identical to a serial run.
+
+``--trace DIR`` (or ``REPRO_TRACE=DIR``) records a structured trace of
+every sweep configuration into ``DIR/<label>.jsonl``; inspect them with
+``python -m repro.tools.tracereport``.
 
 Each driver prints the same rows the corresponding bench asserts on and
 that EXPERIMENTS.md documents.
@@ -49,6 +54,19 @@ def main(argv=None) -> int:
         del argv[at:at + 2]
         # The figure drivers pick this up through executor.run_sweep.
         os.environ["REPRO_PARALLEL"] = str(workers)
+    if "--trace" in argv:
+        at = argv.index("--trace")
+        try:
+            trace_dir = argv[at + 1]
+        except IndexError:
+            print("--trace requires an output directory", file=sys.stderr)
+            return 2
+        if trace_dir.startswith("-"):
+            print("--trace requires an output directory", file=sys.stderr)
+            return 2
+        del argv[at:at + 2]
+        # The sweep workers pick this up in figures._run_spec.
+        os.environ["REPRO_TRACE"] = trace_dir
     if not argv or argv[0] in ("-h", "--help"):
         print(__doc__)
         print("available figures:", ", ".join(sorted(DRIVERS)), "| all")

@@ -16,7 +16,7 @@ from repro.errors import (
 from repro.formats import SHDFReader
 from repro.runtime import DamarisRuntime
 from repro.runtime.shmem import RuntimeBuffer
-from repro.runtime.events import RuntimeQueue
+from repro.runtime.events import QUEUE_CLOSED, RuntimeQueue
 from repro.units import MiB
 
 
@@ -97,11 +97,12 @@ class TestRuntimeQueue:
     def test_get_timeout_returns_none(self):
         assert RuntimeQueue().get(timeout=0.05) is None
 
-    def test_closed_queue_drains(self):
+    def test_closed_queue_drains_then_reports_closed(self):
         queue = RuntimeQueue()
         queue.put("x")
         queue.close()
-        assert queue.get(timeout=0.1) == "x" or queue.get(timeout=0.1) is None
+        assert queue.get(timeout=0.1) == "x"
+        assert queue.get(timeout=0.1) is QUEUE_CLOSED
 
 
 class TestRuntimeEndToEnd:

@@ -1,0 +1,198 @@
+"""Regression tests for runtime shutdown/timeout semantics.
+
+Three bugs these pin down:
+
+1. a server whose clients compute longer than one queue-poll timeout
+   used to treat the poll timeout as a shutdown and exit silently;
+2. the post-shutdown flush used to iterate the variable store while
+   persisting mutated it, and always wrote raw bytes even when the
+   configured action compresses;
+3. ``RuntimeQueue.put`` only noticed a close after its full capacity
+   wait, and ``RuntimeBuffer.allocate`` restarted its timeout clock on
+   every wakeup, so a stream of unhelpful frees could stall it forever.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import DamarisConfig
+from repro.errors import RuntimeShutdownError, ShmAllocationError
+from repro.formats import SHDFReader
+from repro.runtime import DamarisRuntime
+from repro.runtime.events import QUEUE_CLOSED, RuntimeQueue
+from repro.runtime.server import RuntimeServer
+from repro.runtime.shmem import RuntimeBuffer
+from repro.units import MiB
+
+
+def make_config(action="persist"):
+    config = DamarisConfig()
+    config.add_layout("grid", "float", (16, 16, 8))
+    config.add_variable("theta", "grid")
+    config.add_event("end_iteration", action)
+    config.buffer_size = 8 * MiB
+    return config
+
+
+def field(seed=0):
+    """A smooth, partially-zero field (CM1-like compressibility)."""
+    rng = np.random.default_rng(seed)
+    x = np.linspace(0, np.pi, 16, dtype=np.float32)
+    base = np.sin(x)[:, None, None] * np.cos(x)[None, :, None]
+    out = (base * np.ones((16, 16, 8), dtype=np.float32)).copy()
+    out[np.abs(out) < 0.3] = 0.0
+    out[:4, :4] += rng.normal(0, 0.01, (4, 4, 8)).astype(np.float32)
+    return out
+
+
+class TestSlowProducerSurvival:
+    def test_server_outlives_long_compute_phases(self, tmp_path):
+        """A compute phase longer than the poll timeout is not a shutdown."""
+        runtime = DamarisRuntime(make_config(), output_dir=str(tmp_path),
+                                 server_poll_timeout=0.05)
+        client = runtime.client(0)
+        for iteration in range(2):
+            # "Compute" for several poll timeouts before producing.
+            time.sleep(0.2)
+            client.df_write("theta", iteration, field(iteration))
+            client.df_signal("end_iteration", iteration)
+        runtime.shutdown()
+        server = runtime.servers[0]
+        assert not server.errors
+        assert server.idle_timeouts >= 1
+        assert sorted(server.stats.write_seconds) == [0, 1]
+        assert len(runtime.output_files()) == 2
+
+    def test_premature_queue_close_is_recorded(self, tmp_path):
+        """Closing the queue before clients finalize surfaces an error
+        instead of a silent exit."""
+        runtime = DamarisRuntime(make_config(), output_dir=str(tmp_path),
+                                 server_poll_timeout=0.05)
+        server = runtime.servers[0]
+        server.queue.close()
+        server.join(timeout=5.0)
+        assert not server.is_alive()
+        assert server.errors
+        assert isinstance(server.errors[0], RuntimeShutdownError)
+        with pytest.raises(RuntimeShutdownError):
+            runtime.raise_server_errors()
+
+
+class TestShutdownFlush:
+    def test_flush_persists_unsignalled_iterations(self, tmp_path):
+        """Iterations never signalled still land on disk at shutdown,
+        even several of them (the flush snapshots the iteration list
+        while persisting pops from the store)."""
+        runtime = DamarisRuntime(make_config(), output_dir=str(tmp_path))
+        client = runtime.client(0)
+        for iteration in range(3):
+            client.df_write("theta", iteration, field(iteration))
+        runtime.shutdown()
+        server = runtime.servers[0]
+        assert not server.errors
+        assert sorted(server.stats.write_seconds) == [0, 1, 2]
+        assert len(runtime.output_files()) == 3
+
+    def test_flush_honours_configured_compression(self, tmp_path):
+        """The end-of-run flush uses the configured action's codecs, so
+        trailing iterations compress like signalled ones."""
+        runtime = DamarisRuntime(make_config(action="compress"),
+                                 output_dir=str(tmp_path))
+        client = runtime.client(0)
+        data = field(3)
+        client.df_write("theta", 0, data)
+        client.df_signal("end_iteration", 0)   # compressed via the action
+        client.df_write("theta", 1, data)      # flushed at shutdown
+        runtime.shutdown()
+        stats = runtime.servers[0].stats
+        assert stats.bytes_out[0] < stats.bytes_in[0]
+        # Identical payload → the flushed iteration compresses identically.
+        assert stats.bytes_out[1] == stats.bytes_out[0]
+        for path in runtime.output_files():
+            with SHDFReader(path) as reader:
+                name = reader.datasets[0]
+                assert np.array_equal(reader.read_dataset(name), data)
+
+
+class TestDeadlineSemantics:
+    def test_put_notices_close_while_waiting(self):
+        """A producer blocked on a full queue fails fast on close instead
+        of sleeping out its whole timeout."""
+        queue = RuntimeQueue(capacity=1)
+        queue.put("filler")
+        outcome = {}
+
+        def producer():
+            started = time.monotonic()
+            try:
+                queue.put("blocked", timeout=30.0)
+                outcome["result"] = "accepted"
+            except RuntimeShutdownError:
+                outcome["result"] = "shutdown"
+            outcome["elapsed"] = time.monotonic() - started
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        time.sleep(0.1)
+        queue.close()
+        thread.join(timeout=5.0)
+        assert outcome["result"] == "shutdown"
+        assert outcome["elapsed"] < 5.0
+
+    def test_put_timeout_is_a_deadline(self):
+        """Consumers that keep the queue full cannot reset put's clock."""
+        queue = RuntimeQueue(capacity=1)
+        queue.put("filler")
+        stop = threading.Event()
+
+        def churn():
+            # Repeatedly wake the producer without making room.
+            while not stop.is_set():
+                with queue._not_full:
+                    queue._not_full.notify_all()
+                time.sleep(0.01)
+
+        nagger = threading.Thread(target=churn, daemon=True)
+        nagger.start()
+        started = time.monotonic()
+        try:
+            with pytest.raises(RuntimeShutdownError):
+                queue.put("blocked", timeout=0.2)
+            assert time.monotonic() - started < 2.0
+        finally:
+            stop.set()
+            nagger.join(timeout=5.0)
+
+    def test_allocate_timeout_is_a_deadline(self):
+        """Frees that never make room cannot postpone the allocation
+        timeout forever (the old code re-armed the full timeout on every
+        wakeup)."""
+        buffer = RuntimeBuffer(64)
+        buffer.allocate(64)
+        stop = threading.Event()
+
+        def churn():
+            while not stop.is_set():
+                with buffer._freed:
+                    buffer._freed.notify_all()
+                time.sleep(0.01)
+
+        nagger = threading.Thread(target=churn, daemon=True)
+        nagger.start()
+        started = time.monotonic()
+        try:
+            with pytest.raises(ShmAllocationError):
+                buffer.allocate(64, timeout=0.2)
+            assert time.monotonic() - started < 2.0
+        finally:
+            stop.set()
+            nagger.join(timeout=5.0)
+
+    def test_get_distinguishes_timeout_from_close(self):
+        queue = RuntimeQueue()
+        assert queue.get(timeout=0.05) is None       # just a timeout
+        queue.close()
+        assert queue.get(timeout=0.05) is QUEUE_CLOSED
