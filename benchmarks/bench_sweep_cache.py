@@ -1,0 +1,165 @@
+"""Cold-vs-warm benchmark for the content-addressed sweep cache.
+
+Runs the Fig. 2 driver twice against the same (initially empty) cache
+directory:
+
+- **cold** — every sweep point is a miss, computed and written back;
+- **warm** — every point is a verified hit served from disk.
+
+The warm run must be at least ``MIN_SPEEDUP`` (10×) faster than the
+cold run, the two reports must be bit-identical, and the cache stats
+must show the warm run recomputed nothing (0 misses). A full run writes
+``benchmarks/BENCH_sweep_cache.json`` with the measured times so later
+PRs can regress against it::
+
+    PYTHONPATH=src python benchmarks/bench_sweep_cache.py            # full
+    PYTHONPATH=src python benchmarks/bench_sweep_cache.py --smoke    # CI
+    PYTHONPATH=src python benchmarks/bench_sweep_cache.py --check    # CI
+
+``--smoke`` uses a trimmed sweep (seconds, not minutes) and does not
+touch the committed baseline. ``--check`` runs the full scenario and
+compares against the baseline: the speedup floor and report shape must
+hold (wall times are recorded but machine-dependent, so only the ratio
+is enforced). ``--cache-dir DIR`` keeps the store on disk afterwards —
+CI uses that to run ``cachectl verify`` on the produced store.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+BASELINE_PATH = os.path.join(os.path.dirname(__file__),
+                             "BENCH_sweep_cache.json")
+
+#: The acceptance floor: a fully warm figure must be at least this much
+#: faster than its cold run.
+MIN_SPEEDUP = 10.0
+
+
+def run_cold_warm(cache_dir: str, smoke: bool) -> dict:
+    os.environ["REPRO_FAST"] = "1"
+    os.environ["REPRO_CACHE"] = "1"
+    os.environ["REPRO_CACHE_DIR"] = cache_dir
+    os.environ.pop("REPRO_TRACE", None)  # tracing would bypass the cache
+
+    from repro.cache import ResultCache
+    from repro.experiments import figures
+
+    kwargs = {"scales": (48, 96)} if smoke else {}
+    store = ResultCache(cache_dir)
+    if store.total_bytes():
+        raise SystemExit(f"cache dir {cache_dir!r} is not empty; the cold "
+                         f"run must start cold (use cachectl clear)")
+
+    t0 = time.perf_counter()
+    cold = figures.fig2_write_phase_kraken(**kwargs)
+    cold_s = time.perf_counter() - t0
+    cold_stats = store.last_run()
+
+    t0 = time.perf_counter()
+    warm = figures.fig2_write_phase_kraken(**kwargs)
+    warm_s = time.perf_counter() - t0
+    warm_stats = store.last_run()
+
+    if repr(cold.rows) != repr(warm.rows) or repr(cold.notes) != repr(
+            warm.notes):
+        raise SystemExit("cold and warm reports are not bit-identical")
+    if warm_stats["misses"] or warm_stats["bypasses"]:
+        raise SystemExit(
+            f"warm run recomputed tasks: {warm_stats} (expected pure hits)")
+    if warm_stats["hits"] != cold_stats["misses"]:
+        raise SystemExit(
+            f"warm hits {warm_stats['hits']} != cold misses "
+            f"{cold_stats['misses']}: the sweep did not replay")
+
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    return {
+        "cold_s": round(cold_s, 3),
+        "warm_s": round(warm_s, 4),
+        "speedup": round(speedup, 1),
+        "rows": len(cold.rows),
+        "tasks": cold_stats["misses"],
+        "warm_hits": warm_stats["hits"],
+        "cache_bytes": store.total_bytes(),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="trimmed sweep; check invariants only, do "
+                             "not rewrite the baseline")
+    parser.add_argument("--check", action="store_true",
+                        help="full scenario; compare against the "
+                             "committed baseline instead of rewriting it")
+    parser.add_argument("--cache-dir", default=None,
+                        help="use (and keep) this store instead of a "
+                             "throwaway temp dir; must start empty")
+    args = parser.parse_args(argv)
+
+    if args.cache_dir:
+        cache_dir, cleanup = args.cache_dir, False
+        os.makedirs(cache_dir, exist_ok=True)
+    else:
+        cache_dir, cleanup = tempfile.mkdtemp(prefix="repro-cache-"), True
+    try:
+        result = run_cold_warm(cache_dir, smoke=args.smoke)
+    finally:
+        if cleanup:
+            shutil.rmtree(cache_dir, ignore_errors=True)
+
+    print(f"sweep_cache: {json.dumps(result)}")
+    if result["speedup"] < MIN_SPEEDUP:
+        print(f"FAIL: warm speedup {result['speedup']:.1f}x < "
+              f"{MIN_SPEEDUP:.0f}x floor")
+        return 1
+
+    if args.check:
+        with open(BASELINE_PATH, encoding="utf-8") as fh:
+            baseline = json.load(fh)["results"]["sweep_cache"]
+        failures = 0
+        for key in ("rows", "tasks"):
+            if result[key] != baseline[key]:
+                print(f"CHECK FAIL sweep_cache.{key}: {result[key]!r} != "
+                      f"{baseline[key]!r}")
+                failures += 1
+        floor = baseline.get("min_speedup", MIN_SPEEDUP)
+        if result["speedup"] < floor:
+            print(f"CHECK FAIL sweep_cache.speedup: {result['speedup']}x "
+                  f"< {floor}x")
+            failures += 1
+        else:
+            print(f"check ok   sweep_cache.speedup: {result['speedup']}x "
+                  f"(floor {floor}x, baseline {baseline['speedup']}x)")
+        if failures:
+            print(f"check FAILED ({failures} deviation(s) from "
+                  f"{BASELINE_PATH})")
+            return 1
+        print("check ok")
+    elif not args.smoke:
+        payload = {
+            "bench": "sweep_cache",
+            "command":
+                "PYTHONPATH=src python benchmarks/bench_sweep_cache.py",
+            "results": {"sweep_cache": dict(result,
+                                            min_speedup=MIN_SPEEDUP)},
+        }
+        with open(BASELINE_PATH, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"baseline written to {BASELINE_PATH}")
+    else:
+        print("smoke ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,6 +5,13 @@ Every bench regenerates one table/figure of the paper via the drivers in
 rows/series the paper reports), and appends it to
 ``benchmarks/reports/<figure>.txt`` so EXPERIMENTS.md can reference the
 exact output. ``REPRO_FAST=1`` trims sweeps.
+
+The harness honours the sweep cache: with ``REPRO_CACHE=1`` (location
+via ``REPRO_CACHE_DIR``) previously computed sweep points are served
+from the content-addressed store — bit-identical to recomputing them —
+and each bench prints the hit/miss split of its run. This makes
+re-running the whole figure suite after a one-preset edit cost only the
+affected points.
 """
 
 import os
@@ -12,6 +19,18 @@ import os
 import pytest
 
 REPORT_DIR = os.path.join(os.path.dirname(__file__), "reports")
+
+
+def _cache_stats_line():
+    """The last sweep's hit/miss split, when caching is enabled."""
+    from repro.cache import cache_enabled, cache_from_env
+
+    if not cache_enabled():
+        return None
+    cache = cache_from_env()
+    last = cache.last_run()
+    return (f"[sweep cache] hits={last['hits']} misses={last['misses']} "
+            f"bypasses={last['bypasses']} ({cache.root})")
 
 
 @pytest.fixture
@@ -26,6 +45,9 @@ def figure_runner(benchmark, capsys):
         with capsys.disabled():
             print()
             print(text)
+            stats = _cache_stats_line()
+            if stats:
+                print(stats)
         os.makedirs(REPORT_DIR, exist_ok=True)
         slug = "".join(ch if ch.isalnum() else "_"
                        for ch in result.figure.lower()).strip("_")

@@ -1,0 +1,48 @@
+"""Content-addressed result cache for deterministic sweep tasks.
+
+Every :class:`~repro.experiments.executor.SweepTask` is pure by contract
+(seeded RNG, no shared state), so its result is fully determined by its
+arguments plus the model source. This package persists those results on
+disk under a key that hashes both — ``blake2b(canonical(fn, args,
+kwargs) + model_fingerprint)`` — which makes re-running a figure after
+editing one platform preset cost only the points that preset touches:
+everything else is a verified cache hit.
+
+- :mod:`repro.cache.keys` — canonical argument encoding, the model
+  source fingerprint and :func:`~repro.cache.keys.task_key`;
+- :mod:`repro.cache.store` — the on-disk store (atomic writes,
+  corruption-tolerant reads, LRU eviction, advisory JSON index) and the
+  ``REPRO_CACHE`` / ``REPRO_CACHE_DIR`` environment wiring.
+
+The executor integration lives in
+:func:`repro.experiments.executor.run_sweep`; the maintenance CLI is
+``python -m repro.tools.cachectl``.
+"""
+
+from repro.cache.keys import (
+    UncacheableArgument,
+    canonical_blob,
+    model_fingerprint,
+    task_key,
+)
+from repro.cache.store import (
+    CacheEntryInfo,
+    CacheStats,
+    ResultCache,
+    cache_enabled,
+    cache_from_env,
+    default_cache_dir,
+)
+
+__all__ = [
+    "CacheEntryInfo",
+    "CacheStats",
+    "ResultCache",
+    "UncacheableArgument",
+    "cache_enabled",
+    "cache_from_env",
+    "canonical_blob",
+    "default_cache_dir",
+    "model_fingerprint",
+    "task_key",
+]

@@ -1,0 +1,177 @@
+"""Content-addressed cache keys for sweep results.
+
+A sweep task is pure by contract (seeded RNG, no shared state), so its
+result is a function of exactly three things:
+
+- the callable's identity (``module.qualname``),
+- its arguments (positional + keyword), and
+- the model code that interprets them.
+
+:func:`task_key` hashes all three with BLAKE2b. Arguments are reduced to
+a *canonical blob* first — a type-tagged, recursively sorted byte string
+— so that semantically identical calls (same dict in any insertion
+order, tuple vs list of the same scalars) map to the same key, while any
+actual change to a value, however small, produces a different one.
+Objects the canonicaliser does not understand raise
+:class:`UncacheableArgument`; callers treat such tasks as cache bypasses
+rather than guessing at an encoding.
+
+The model code is folded in through :func:`model_fingerprint`: a BLAKE2b
+digest over every ``*.py`` file of the installed ``repro`` package
+(path + content, in sorted path order). Any source edit — a calibration
+constant, a strategy tweak, a kernel fix — changes the fingerprint and
+therefore every key, so a stale result is structurally unreachable: it
+is never *compared against* and never served, it simply becomes garbage
+for ``cachectl prune --stale`` to collect.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "UncacheableArgument",
+    "canonical_blob",
+    "model_fingerprint",
+    "task_key",
+]
+
+_DIGEST_SIZE = 20  # 40 hex chars: short enough for paths, ample for keys
+
+# Per-process memo: hashing the source tree costs a few ms; within one
+# process the tree is assumed frozen (editing model code under a running
+# sweep is out of contract anyway — the next process sees the new hash).
+_FINGERPRINTS: Dict[str, str] = {}
+
+
+class UncacheableArgument(TypeError):
+    """An argument type the canonical encoder refuses to guess about."""
+
+
+def _encode(obj: Any, out: List[bytes]) -> None:
+    """Append a type-tagged canonical encoding of ``obj`` to ``out``."""
+    if obj is None:
+        out.append(b"N;")
+    elif obj is True:
+        out.append(b"T;")
+    elif obj is False:
+        out.append(b"F;")
+    elif isinstance(obj, int):
+        out.append(b"i%d;" % obj)
+    elif isinstance(obj, float):
+        # repr() round-trips doubles exactly (and distinguishes -0.0,
+        # inf, nan), so equal bit patterns encode identically.
+        out.append(b"f" + repr(obj).encode("ascii") + b";")
+    elif isinstance(obj, str):
+        raw = obj.encode("utf-8")
+        out.append(b"s%d:" % len(raw))
+        out.append(raw)
+    elif isinstance(obj, bytes):
+        out.append(b"b%d:" % len(obj))
+        out.append(obj)
+    elif isinstance(obj, (list, tuple)):
+        # Deliberately the same tag: a sweep spec built with a tuple one
+        # day and a list the next describes the same experiment.
+        out.append(b"l%d:" % len(obj))
+        for item in obj:
+            _encode(item, out)
+        out.append(b";")
+    elif isinstance(obj, dict):
+        items = []
+        for key, value in obj.items():
+            key_parts: List[bytes] = []
+            _encode(key, key_parts)
+            items.append((b"".join(key_parts), value))
+        items.sort(key=lambda pair: pair[0])
+        out.append(b"d%d:" % len(items))
+        for encoded_key, value in items:
+            out.append(encoded_key)
+            _encode(value, out)
+        out.append(b";")
+    else:
+        # numpy scalars/arrays appear in some analysis paths; encode them
+        # exactly (dtype + shape + raw bytes) without importing numpy at
+        # module load for the cheap scalar-only case.
+        import numpy as np
+
+        if isinstance(obj, np.generic):
+            _encode(obj.item(), out)
+        elif isinstance(obj, np.ndarray):
+            out.append(b"a")
+            _encode(obj.dtype.str, out)
+            _encode(list(obj.shape), out)
+            raw = np.ascontiguousarray(obj).tobytes()
+            out.append(b"%d:" % len(raw))
+            out.append(raw)
+            out.append(b";")
+        else:
+            raise UncacheableArgument(
+                f"cannot build a canonical cache key from "
+                f"{type(obj).__name__!r} (value {obj!r})")
+
+
+def canonical_blob(obj: Any) -> bytes:
+    """The canonical byte encoding of ``obj`` (see module docstring)."""
+    out: List[bytes] = []
+    _encode(obj, out)
+    return b"".join(out)
+
+
+def model_fingerprint(root: Optional[str] = None,
+                      refresh: bool = False) -> str:
+    """BLAKE2b digest of every ``*.py`` file under ``root``.
+
+    ``root`` defaults to the installed ``repro`` package directory, so
+    the fingerprint tracks exactly the code that computes sweep results.
+    Memoised per process; pass ``refresh=True`` to force a re-hash (only
+    tests that rewrite source trees on the fly need this).
+    """
+    if root is None:
+        import repro
+
+        root = os.path.dirname(os.path.abspath(repro.__file__))
+    root = os.path.abspath(root)
+    if not refresh:
+        cached = _FINGERPRINTS.get(root)
+        if cached is not None:
+            return cached
+    digest = hashlib.blake2b(digest_size=_DIGEST_SIZE)
+    paths: List[str] = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(
+            d for d in dirnames if d not in ("__pycache__",))
+        for filename in filenames:
+            if filename.endswith(".py"):
+                paths.append(os.path.join(dirpath, filename))
+    paths.sort()
+    for path in paths:
+        relpath = os.path.relpath(path, root)
+        digest.update(relpath.encode("utf-8"))
+        digest.update(b"\0")
+        with open(path, "rb") as fh:
+            digest.update(fh.read())
+        digest.update(b"\0")
+    result = digest.hexdigest()
+    _FINGERPRINTS[root] = result
+    return result
+
+
+def task_key(fn: Callable[..., Any], args: Tuple[Any, ...],
+             kwargs: Dict[str, Any], fingerprint: str,
+             context: Any = None) -> str:
+    """The content address of one task result.
+
+    ``fingerprint`` is the model fingerprint (or any string standing in
+    for it under test); ``context`` carries run-environment knobs that
+    change task results without appearing in the arguments (e.g. the
+    normalised ``REPRO_FAST`` flag). Raises :class:`UncacheableArgument`
+    when an argument cannot be canonically encoded.
+    """
+    name = f"{getattr(fn, '__module__', '?')}.{getattr(fn, '__qualname__', '?')}"
+    digest = hashlib.blake2b(digest_size=_DIGEST_SIZE)
+    digest.update(fingerprint.encode("ascii"))
+    digest.update(b"\0")
+    digest.update(canonical_blob((name, list(args), kwargs, context)))
+    return digest.hexdigest()

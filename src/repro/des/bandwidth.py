@@ -385,8 +385,9 @@ class FlowNetwork:
             return
         self._recompute_scheduled = True
         # Late priority: all same-timestamp arrivals/departures batch into
-        # one recomputation.
-        self.sim.schedule_callback(0.0, self._recompute, priority=PRIORITY_LATE)
+        # one recomputation. Slim entry: nothing awaits the recompute, so
+        # skip the Event + wrapper-lambda allocation on this hottest path.
+        self.sim.call_later(0.0, self._recompute, priority=PRIORITY_LATE)
 
     def _advance(self) -> None:
         """Progress all active flows from the last update time to now."""
@@ -484,8 +485,8 @@ class FlowNetwork:
         self._tick_target = t_abs
         if not self._tick_times or min(self._tick_times) > t_abs:
             self._tick_times.append(t_abs)
-            self.sim.schedule_callback_at(t_abs, self._on_completion_tick,
-                                          priority=PRIORITY_LATE)
+            self.sim.call_at(t_abs, self._on_completion_tick,
+                             priority=PRIORITY_LATE)
 
     def _on_completion_tick(self) -> None:
         self._tick_times.remove(self.sim.now)
@@ -497,9 +498,8 @@ class FlowNetwork:
             # Fired early (the predicted completion moved later after an
             # arrival); re-arm at the current target.
             self._tick_times.append(self._tick_target)
-            self.sim.schedule_callback_at(
-                self._tick_target, self._on_completion_tick,
-                priority=PRIORITY_LATE)
+            self.sim.call_at(self._tick_target, self._on_completion_tick,
+                             priority=PRIORITY_LATE)
 
     def _complete_finished(self) -> bool:
         # A flow is done when its remaining volume is within tolerance: an

@@ -199,6 +199,40 @@ class Simulator:
         event.callbacks.append(lambda _evt: callback())
         return event.succeed(delay=delay, priority=priority)
 
+    def call_later(self, delay: float, callback: Callable[[], None],
+                   priority: int = PRIORITY_NORMAL) -> None:
+        """Schedule a bare callable after ``delay`` — no :class:`Event`.
+
+        The callable itself is the heap entry: nothing is allocated
+        beyond the heap tuple, where :meth:`schedule_callback` pays an
+        ``Event`` + wrapper lambda + callback list per call. The price
+        is that nothing can wait on it — fire-and-forget only, which is
+        exactly what the kernel-internal timers
+        (:meth:`repro.des.bandwidth.FlowNetwork._request_recompute`,
+        the completion tick) need on the hottest path. Ordering is
+        bit-identical to an event scheduled with the same (time,
+        priority): both consume one sequence number.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._heap,
+                       (self._now + delay, priority, self._seq, callback))
+
+    def call_at(self, time: float, callback: Callable[[], None],
+                priority: int = PRIORITY_NORMAL) -> None:
+        """:meth:`call_later` with an *absolute* timestamp heap key.
+
+        Like :meth:`schedule_callback_at`, the key is exactly ``time``
+        (no ``now + delay`` round-trip), so re-arming a timer at a
+        previously computed timestamp is free of floating-point drift.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past (time={time}, now={self._now})")
+        self._seq += 1
+        heapq.heappush(self._heap, (time, priority, self._seq, callback))
+
     def schedule_callback_at(self, time: float, callback: Callable[[], None],
                              priority: int = PRIORITY_NORMAL) -> Event:
         """Schedule a plain callable at an *absolute* simulated time.
@@ -222,12 +256,15 @@ class Simulator:
         return self._heap[0][0] if self._heap else float("inf")
 
     def step(self) -> None:
-        """Process exactly one event."""
+        """Process exactly one heap entry (an event or a slim callback)."""
         if not self._heap:
             raise SimulationError("step() on an empty event queue")
-        time, _prio, _seq, event = heapq.heappop(self._heap)
+        time, _prio, _seq, entry = heapq.heappop(self._heap)
         self._now = time
-        event._process()
+        if isinstance(entry, Event):
+            entry._process()
+        else:
+            entry()  # slim callback from call_later()/call_at()
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the queue is empty or simulated time reaches ``until``."""

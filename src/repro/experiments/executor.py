@@ -1,4 +1,4 @@
-"""Process-parallel sweep executor for independent experiment configs.
+"""Cache-aware, process-parallel sweep executor.
 
 The figure drivers in :mod:`repro.experiments.figures` sweep many
 independent ``(ncores, strategy)`` configurations; each one builds its
@@ -8,10 +8,21 @@ produce bit-identical results. This module provides the fan-out:
 
 - :class:`SweepTask` — a picklable unit of work (top-level function,
   positional args, keyword args, display label);
-- :func:`run_sweep` — run a task list serially or over a
-  ``ProcessPoolExecutor``, always returning results in task order;
+- :func:`run_sweep` — the cache-aware scheduler: tasks whose result is
+  already in the content-addressed store (:mod:`repro.cache`) are
+  returned instantly; the remaining misses run serially or over a
+  ``ProcessPoolExecutor`` and are written back on completion. Results
+  are always reassembled **in task order**, so serial, parallel, cold
+  and warm runs return bit-identical lists;
 - :func:`default_parallelism` — worker count from the
   ``REPRO_PARALLEL`` environment variable (default ``1`` = serial).
+
+Caching is off unless requested: pass an explicit
+:class:`~repro.cache.ResultCache`, or set ``REPRO_CACHE=1`` (location
+via ``REPRO_CACHE_DIR``). The normalised ``REPRO_FAST`` flag is folded
+into every key because drivers read it inside the task body; a
+``REPRO_TRACE`` run bypasses the cache entirely, since serving a hit
+would silently skip the trace files the task is expected to emit.
 
 Determinism contract: a task must not read or mutate shared state; all
 randomness must come from seeds carried in its arguments. Every task in
@@ -22,11 +33,19 @@ randomness must come from seeds carried in its arguments. Every task in
 from __future__ import annotations
 
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Union
 
-__all__ = ["SweepTask", "default_parallelism", "run_sweep"]
+from repro.cache.store import ResultCache, cache_from_env
+
+__all__ = ["SweepTask", "default_parallelism", "pool_chunksize",
+           "run_sweep"]
+
+#: Upper bound for the computed ``ProcessPoolExecutor.map`` chunksize:
+#: large enough to amortise IPC, small enough to keep workers balanced.
+_MAX_CHUNKSIZE = 16
 
 
 @dataclass(frozen=True)
@@ -56,35 +75,138 @@ class SweepTask:
 
 
 def default_parallelism() -> int:
-    """Worker count requested via ``REPRO_PARALLEL`` (default 1)."""
+    """Worker count requested via ``REPRO_PARALLEL`` (default 1).
+
+    A malformed or non-positive value falls back to serial execution,
+    with a warning naming the bad value — silently ignoring a typo like
+    ``REPRO_PARALLEL=eight`` would quietly forfeit the whole speedup.
+    """
     raw = os.environ.get("REPRO_PARALLEL", "").strip()
     if not raw:
         return 1
     try:
         workers = int(raw)
     except ValueError:
+        warnings.warn(
+            f"REPRO_PARALLEL={raw!r} is not an integer; running serially",
+            RuntimeWarning, stacklevel=2)
         return 1
-    return max(1, workers)
+    if workers < 1:
+        warnings.warn(
+            f"REPRO_PARALLEL={raw!r} must be a positive worker count; "
+            f"running serially", RuntimeWarning, stacklevel=2)
+        return 1
+    return workers
+
+
+def pool_chunksize(ntasks: int, workers: int) -> int:
+    """Chunksize for ``ProcessPoolExecutor.map``.
+
+    The default ``chunksize=1`` pays one IPC round-trip per task, which
+    dominates on large sweeps of fast tasks. Aim for ~4 chunks per
+    worker (keeps the pool balanced when task durations vary) and cap
+    the chunk at a fixed bound so a huge sweep still streams results.
+    """
+    if workers <= 1:
+        return 1
+    return max(1, min(_MAX_CHUNKSIZE, ntasks // (workers * 4)))
 
 
 def _call(task: SweepTask) -> Any:
     return task.run()
 
 
+def _fast_mode_context() -> Dict[str, Any]:
+    # The drivers read REPRO_FAST *inside* the task body (phase counts),
+    # so two runs with identical task arguments can differ across fast
+    # modes; fold the normalised flag into every cache key.
+    fast = os.environ.get("REPRO_FAST", "") not in ("", "0", "false")
+    return {"repro_fast": fast}
+
+
+def _resolve_cache(cache: Union[ResultCache, None, bool],
+                   ) -> Optional[ResultCache]:
+    if cache is False:
+        return None
+    if isinstance(cache, ResultCache):
+        if cache.context is None:
+            cache.context = _fast_mode_context()
+        return cache
+    return cache_from_env(context=_fast_mode_context())
+
+
 def run_sweep(tasks: Iterable[SweepTask],
-              parallel: Optional[int] = None) -> List[Any]:
+              parallel: Optional[int] = None,
+              cache: Union[ResultCache, None, bool] = None,
+              chunksize: Optional[int] = None) -> List[Any]:
     """Run every task and return their results **in task order**.
 
     ``parallel=None`` consults :func:`default_parallelism`; ``1`` (or a
     single task) runs serially in-process with no pool overhead. The
-    parallel path uses ``ProcessPoolExecutor.map``, which preserves
-    submission order, so serial and parallel runs return bit-identical
-    result lists for deterministic tasks.
+    parallel path uses ``ProcessPoolExecutor.map`` with a computed
+    ``chunksize`` (override via the argument); map preserves submission
+    order, so serial and parallel runs return bit-identical result
+    lists for deterministic tasks.
+
+    ``cache=None`` consults the environment (``REPRO_CACHE`` /
+    ``REPRO_CACHE_DIR``); ``cache=False`` forces caching off; an
+    explicit :class:`~repro.cache.ResultCache` is used as-is. Hits are
+    returned without running the task; misses are executed and written
+    back atomically, then an LRU eviction pass bounds the store size.
+    With ``REPRO_TRACE`` set every task is a *bypass*: trace files are a
+    side effect a cache hit would skip.
     """
     task_list = list(tasks)
     workers = default_parallelism() if parallel is None else max(1, int(parallel))
     workers = min(workers, len(task_list))
+    store = _resolve_cache(cache)
+    if store is not None and os.environ.get("REPRO_TRACE", ""):
+        store.stats.bypasses += len(task_list)
+        store.flush()
+        store = None
+
+    results: List[Any] = [None] * len(task_list)
+    if store is None:
+        pending: List[Tuple[int, Optional[str], SweepTask]] = [
+            (i, None, task) for i, task in enumerate(task_list)]
+    else:
+        pending = []
+        for i, task in enumerate(task_list):
+            key = store.key_for(task.fn, task.args, task.kwargs)
+            if key is None:
+                store.stats.bypasses += 1
+                pending.append((i, None, task))
+                continue
+            hit, value = store.get(key)
+            if hit:
+                results[i] = value
+            else:
+                pending.append((i, key, task))
+
+    workers = min(workers, len(pending))
     if workers <= 1:
-        return [task.run() for task in task_list]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(_call, task_list))
+        computed = [task.run() for _i, _key, task in pending]
+    else:
+        if chunksize is None:
+            chunksize = pool_chunksize(len(pending), workers)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            computed = list(pool.map(
+                _call, [task for _i, _key, task in pending],
+                chunksize=max(1, int(chunksize))))
+
+    for (i, key, task), value in zip(pending, computed):
+        results[i] = value
+        if store is not None and key is not None:
+            fn = task.fn
+            store.put(key, value, meta={
+                "fn": f"{getattr(fn, '__module__', '?')}."
+                      f"{getattr(fn, '__qualname__', '?')}",
+                "label": task.label,
+            })
+
+    if store is not None:
+        store.flush()
+        if store.total_bytes() > store.max_bytes:
+            store.evict()
+            store.flush()
+    return results

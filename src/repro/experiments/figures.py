@@ -16,6 +16,14 @@ through :func:`repro.experiments.executor.run_sweep`, so setting
 worker processes with bit-identical results: each spec builds its own
 simulator and machine from its explicit seed, and ``run_sweep`` returns
 results in task order.
+
+Because every spec is pure data and every run is seeded, the sweeps are
+also memoizable: with ``REPRO_CACHE=1`` (or ``--cache`` on the figure
+CLI) ``run_sweep`` serves previously computed points from the
+content-addressed store in ``REPRO_CACHE_DIR`` and only computes what
+changed — editing one platform preset re-runs that preset's points and
+nothing else, since the store keys every result by (spec, model source
+fingerprint). Warm results are bit-identical to cold ones.
 """
 
 from __future__ import annotations

@@ -8,6 +8,8 @@ Usage::
     REPRO_FAST=1 python -m repro.tools.figures fig4   # trimmed sweep
     python -m repro.tools.figures --parallel 4 all    # 4 worker processes
     python -m repro.tools.figures --trace traces/ fig2   # record traces
+    python -m repro.tools.figures --cache all         # reuse cached points
+    python -m repro.tools.figures --cache --cache-dir /tmp/c fig4
 
 ``--parallel N`` (or ``REPRO_PARALLEL=N`` in the environment) fans the
 independent sweep configurations of each driver out over ``N`` worker
@@ -16,6 +18,15 @@ processes; results are bit-identical to a serial run.
 ``--trace DIR`` (or ``REPRO_TRACE=DIR``) records a structured trace of
 every sweep configuration into ``DIR/<label>.jsonl``; inspect them with
 ``python -m repro.tools.tracereport``.
+
+``--cache`` (or ``REPRO_CACHE=1``) serves sweep points from the
+content-addressed result store in ``--cache-dir`` (``REPRO_CACHE_DIR``,
+default ``~/.cache/repro/sweeps``) and writes back the rest; warm
+results are bit-identical to cold ones and are invalidated
+automatically whenever the ``repro`` source tree changes. ``--no-cache``
+forces caching off regardless of the environment. Inspect and maintain
+the store with ``python -m repro.tools.cachectl``. A ``--trace`` run
+bypasses the cache (trace files are a side effect a hit would skip).
 
 Each driver prints the same rows the corresponding bench asserts on and
 that EXPERIMENTS.md documents.
@@ -67,6 +78,25 @@ def main(argv=None) -> int:
         del argv[at:at + 2]
         # The sweep workers pick this up in figures._run_spec.
         os.environ["REPRO_TRACE"] = trace_dir
+    if "--cache-dir" in argv:
+        at = argv.index("--cache-dir")
+        try:
+            cache_dir = argv[at + 1]
+        except IndexError:
+            print("--cache-dir requires a directory", file=sys.stderr)
+            return 2
+        if cache_dir.startswith("-"):
+            print("--cache-dir requires a directory", file=sys.stderr)
+            return 2
+        del argv[at:at + 2]
+        os.environ["REPRO_CACHE_DIR"] = cache_dir
+    if "--cache" in argv:
+        argv.remove("--cache")
+        # executor.run_sweep resolves this through cache_from_env().
+        os.environ["REPRO_CACHE"] = "1"
+    if "--no-cache" in argv:
+        argv.remove("--no-cache")
+        os.environ["REPRO_CACHE"] = "0"
     if not argv or argv[0] in ("-h", "--help"):
         print(__doc__)
         print("available figures:", ", ".join(sorted(DRIVERS)), "| all")

@@ -200,3 +200,65 @@ class TestRunUntilComplete:
         never = sim.event()
         with pytest.raises(SimulationError):
             sim.run_until_complete(never)
+
+
+class TestSlimCallbacks:
+    """call_later/call_at push the bare callable onto the heap — no
+    Event allocation — and interleave bit-identically with events."""
+
+    def test_call_later_runs_in_time_order(self):
+        sim = Simulator()
+        seen = []
+        for delay in (3.0, 1.0, 2.0):
+            sim.call_later(delay, lambda d=delay: seen.append(d))
+        sim.run()
+        assert seen == [1.0, 2.0, 3.0]
+        assert sim.now == 3.0
+
+    def test_interleaves_fifo_with_events(self):
+        # A slim callback and an event scheduled at the same (time,
+        # priority) fire in submission order: both consume one sequence
+        # number, so replacing one with the other cannot reorder anything.
+        sim = Simulator()
+        seen = []
+        sim.call_later(1.0, lambda: seen.append("slim-first"))
+        sim.schedule_callback(1.0, lambda: seen.append("event"))
+        sim.call_later(1.0, lambda: seen.append("slim-last"))
+        sim.run()
+        assert seen == ["slim-first", "event", "slim-last"]
+
+    def test_priority_respected(self):
+        sim = Simulator()
+        seen = []
+        sim.call_later(1.0, lambda: seen.append("late"),
+                       priority=PRIORITY_LATE)
+        sim.call_later(1.0, lambda: seen.append("urgent"),
+                       priority=PRIORITY_URGENT)
+        sim.run()
+        assert seen == ["urgent", "late"]
+
+    def test_call_at_absolute_time(self):
+        sim = Simulator()
+        sim.timeout(2.0)
+        seen = []
+        sim.call_at(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.0]
+
+    def test_negative_delay_raises(self):
+        with pytest.raises(SimulationError):
+            Simulator().call_later(-1.0, lambda: None)
+
+    def test_call_at_in_past_raises(self):
+        sim = Simulator()
+        sim.timeout(5.0)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.call_at(1.0, lambda: None)
+
+    def test_no_event_on_heap(self):
+        sim = Simulator()
+        sim.call_later(1.0, lambda: None)
+        (_t, _prio, _seq, entry), = sim._heap
+        assert not isinstance(entry, Event)
+        assert callable(entry)

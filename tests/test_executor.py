@@ -1,13 +1,17 @@
-"""Tests for the process-parallel sweep executor and driver determinism."""
+"""Tests for the cache-aware sweep executor and driver determinism."""
 
 import os
+import uuid
+import warnings
 
 import pytest
 
+from repro.cache import ResultCache
 from repro.experiments import figures
 from repro.experiments.executor import (
     SweepTask,
     default_parallelism,
+    pool_chunksize,
     run_sweep,
 )
 
@@ -20,6 +24,23 @@ def _pid_and_value(x):
     return (os.getpid(), x)
 
 
+def _record_call(x, marker_dir):
+    """Leave one unique marker file per invocation (worker-safe)."""
+    path = os.path.join(marker_dir, f"{uuid.uuid4().hex}.call")
+    with open(path, "w", encoding="utf-8"):
+        pass
+    return x * 10
+
+
+def _calls(marker_dir):
+    return len([name for name in os.listdir(marker_dir)
+                if name.endswith(".call")])
+
+
+def _type_name(x):
+    return type(x).__name__
+
+
 class TestDefaultParallelism:
     def test_unset_means_serial(self, monkeypatch):
         monkeypatch.delenv("REPRO_PARALLEL", raising=False)
@@ -27,15 +48,45 @@ class TestDefaultParallelism:
 
     def test_env_value(self, monkeypatch):
         monkeypatch.setenv("REPRO_PARALLEL", "4")
-        assert default_parallelism() == 4
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # a valid value must not warn
+            assert default_parallelism() == 4
 
-    def test_garbage_falls_back_to_serial(self, monkeypatch):
-        monkeypatch.setenv("REPRO_PARALLEL", "lots")
-        assert default_parallelism() == 1
+    def test_garbage_warns_and_falls_back_to_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "eight")
+        with pytest.warns(RuntimeWarning, match="'eight'"):
+            assert default_parallelism() == 1
 
-    def test_nonpositive_clamped(self, monkeypatch):
-        monkeypatch.setenv("REPRO_PARALLEL", "-3")
-        assert default_parallelism() == 1
+    def test_negative_warns_and_falls_back_to_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "-2")
+        with pytest.warns(RuntimeWarning, match="'-2'"):
+            assert default_parallelism() == 1
+
+    def test_zero_warns_and_falls_back_to_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "0")
+        with pytest.warns(RuntimeWarning, match="'0'"):
+            assert default_parallelism() == 1
+
+
+class TestPoolChunksize:
+    def test_serial_is_one(self):
+        assert pool_chunksize(1000, 1) == 1
+
+    def test_small_sweep_stays_fine_grained(self):
+        assert pool_chunksize(10, 4) == 1
+
+    def test_large_sweep_amortises_ipc(self):
+        assert pool_chunksize(256, 4) == 16
+
+    def test_capped(self):
+        assert pool_chunksize(100000, 2) == 16
+
+    def test_chunked_results_identical_to_unchunked(self):
+        tasks = [SweepTask(_square, (i,)) for i in range(40)]
+        unchunked = run_sweep(tasks, parallel=3, cache=False, chunksize=1)
+        chunked = run_sweep(tasks, parallel=3, cache=False, chunksize=7)
+        auto = run_sweep(tasks, parallel=3, cache=False)
+        assert unchunked == chunked == auto == [i * i for i in range(40)]
 
 
 class TestSweepTask:
@@ -79,6 +130,124 @@ class TestRunSweep:
         assert all(pid != os.getpid() for pid, _value in results)
 
 
+class TestRunSweepCache:
+    """The cache-aware scheduler: hits skip execution, misses write back."""
+
+    def _cache(self, tmp_path):
+        return ResultCache(str(tmp_path / "cache"), fingerprint="test-fp")
+
+    def _tasks(self, tmp_path, n=6):
+        marker = tmp_path / "markers"
+        marker.mkdir(exist_ok=True)
+        return ([SweepTask(_record_call, (i, str(marker))) for i in range(n)],
+                str(marker))
+
+    def test_warm_run_recomputes_nothing(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        cache = self._cache(tmp_path)
+        tasks, marker = self._tasks(tmp_path)
+        cold = run_sweep(tasks, parallel=1, cache=cache)
+        assert _calls(marker) == 6
+        assert cache.stats.misses == 6 and cache.stats.writes == 6
+        warm = run_sweep(tasks, parallel=1, cache=cache)
+        assert _calls(marker) == 6  # nothing recomputed
+        assert cache.stats.hits == 6
+        assert warm == cold == [i * 10 for i in range(6)]
+
+    def test_warm_parallel_matches_cold_serial(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        cache = self._cache(tmp_path)
+        tasks, marker = self._tasks(tmp_path)
+        cold = run_sweep(tasks, parallel=2, cache=cache)
+        assert _calls(marker) == 6
+        warm = run_sweep(tasks, parallel=2, cache=cache)
+        assert _calls(marker) == 6
+        assert warm == cold
+
+    def test_partial_invalidation_only_recomputes_changed(self, tmp_path,
+                                                          monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        cache = self._cache(tmp_path)
+        tasks, marker = self._tasks(tmp_path)
+        run_sweep(tasks, parallel=1, cache=cache)
+        # One new point (the incremental-figure workflow): only it runs.
+        extra_marker = tmp_path / "markers"
+        tasks.append(SweepTask(_record_call, (99, str(extra_marker))))
+        results = run_sweep(tasks, parallel=1, cache=cache)
+        assert _calls(marker) == 7
+        assert results == [i * 10 for i in range(6)] + [990]
+
+    def test_fingerprint_change_invalidates_everything(self, tmp_path,
+                                                       monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        tasks, marker = self._tasks(tmp_path)
+        old = ResultCache(str(tmp_path / "cache"), fingerprint="model-v1")
+        run_sweep(tasks, parallel=1, cache=old)
+        assert _calls(marker) == 6
+        new = ResultCache(str(tmp_path / "cache"), fingerprint="model-v2")
+        run_sweep(tasks, parallel=1, cache=new)
+        assert _calls(marker) == 12  # a stale entry is never served
+        assert new.stats.hits == 0 and new.stats.misses == 6
+
+    def test_corrupt_entry_recomputed(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        cache = self._cache(tmp_path)
+        tasks, marker = self._tasks(tmp_path, n=1)
+        run_sweep(tasks, parallel=1, cache=cache)
+        key = cache.key_for(tasks[0].fn, tasks[0].args, tasks[0].kwargs)
+        with open(cache.entry_path(key), "r+b") as fh:
+            fh.truncate(10)
+        results = run_sweep(tasks, parallel=1, cache=cache)
+        assert results == [0]
+        assert _calls(marker) == 2
+        assert cache.stats.corrupt == 1
+
+    def test_trace_run_bypasses_cache(self, tmp_path, monkeypatch):
+        cache = self._cache(tmp_path)
+        tasks, marker = self._tasks(tmp_path, n=2)
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        run_sweep(tasks, parallel=1, cache=cache)
+        assert _calls(marker) == 2
+        monkeypatch.setenv("REPRO_TRACE", str(tmp_path / "traces"))
+        run_sweep(tasks, parallel=1, cache=cache)
+        assert _calls(marker) == 4  # cache not consulted under tracing
+        assert cache.stats.bypasses == 2
+
+    def test_uncacheable_args_bypass_not_crash(self, tmp_path, monkeypatch):
+        # An argument the canonical encoder refuses (here a raw object())
+        # must run the task every time, counted as a bypass — mixed into
+        # the same sweep as cacheable tasks.
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        cache = self._cache(tmp_path)
+        tasks = [SweepTask(_type_name, (object(),)), SweepTask(_square, (4,))]
+        first = run_sweep(tasks, parallel=1, cache=cache)
+        second = run_sweep(tasks, parallel=1, cache=cache)
+        assert first == second == ["object", 16]
+        assert cache.stats.bypasses == 2  # the object() task, both runs
+        assert cache.stats.hits == 1      # the square task, second run
+
+    def test_env_resolution(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+        tasks, marker = self._tasks(tmp_path, n=3)
+        run_sweep(tasks, parallel=1)
+        run_sweep(tasks, parallel=1)
+        assert _calls(marker) == 3
+        store = ResultCache(str(tmp_path / "envcache"))
+        assert store.totals()["hits"] == 3
+        assert store.totals()["misses"] == 3
+
+    def test_cache_false_forces_off(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+        tasks, marker = self._tasks(tmp_path, n=2)
+        run_sweep(tasks, parallel=1, cache=False)
+        run_sweep(tasks, parallel=1, cache=False)
+        assert _calls(marker) == 4
+
+
 class TestDriverDeterminism:
     """Same seed ⇒ bit-identical figure output, serial vs parallel."""
 
@@ -104,3 +273,44 @@ class TestDriverDeterminism:
         first = figures.fig2_write_phase_kraken(scales=(48,), seed=7)
         second = figures.fig2_write_phase_kraken(scales=(48,), seed=8)
         assert repr(first.rows) != repr(second.rows)
+
+    def test_fig2_cold_warm_serial_parallel_bit_identical(self, monkeypatch,
+                                                          tmp_path):
+        """The acceptance matrix: cold, warm, serial and parallel runs of
+        one figure all produce byte-for-byte the same report."""
+        monkeypatch.setenv("REPRO_FAST", "1")
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        monkeypatch.delenv("REPRO_PARALLEL", raising=False)
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        cold = figures.fig2_write_phase_kraken(scales=(48,))
+        warm = figures.fig2_write_phase_kraken(scales=(48,))
+        monkeypatch.setenv("REPRO_PARALLEL", "2")
+        warm_parallel = figures.fig2_write_phase_kraken(scales=(48,))
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        uncached_parallel = figures.fig2_write_phase_kraken(scales=(48,))
+        assert repr(cold.rows) == repr(warm.rows) \
+            == repr(warm_parallel.rows) == repr(uncached_parallel.rows)
+        assert repr(cold.notes) == repr(warm.notes) \
+            == repr(warm_parallel.notes) == repr(uncached_parallel.notes)
+        store = ResultCache(str(tmp_path / "cache"))
+        assert store.totals()["misses"] == 4   # the cold run only
+        assert store.totals()["hits"] == 8     # two fully warm runs
+
+    def test_fig2_fast_mode_keys_do_not_collide(self, monkeypatch, tmp_path):
+        """REPRO_FAST is read inside the task body, so it must be part of
+        the cache key: a fast-mode result must never satisfy a full-mode
+        lookup of the same spec."""
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        monkeypatch.delenv("REPRO_PARALLEL", raising=False)
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.setenv("REPRO_FAST", "1")
+        fast = figures.fig2_write_phase_kraken(scales=(48,))
+        monkeypatch.setenv("REPRO_FAST", "0")
+        full = figures.fig2_write_phase_kraken(scales=(48,))
+        store = ResultCache(str(tmp_path / "cache"))
+        assert store.totals()["hits"] == 0  # no cross-mode contamination
+        assert store.totals()["misses"] == 8
+        # fast mode runs 1 write phase, full mode 2: results must differ.
+        assert repr(fast.rows) != repr(full.rows)
