@@ -60,11 +60,13 @@ class Machine:
     def __init__(self, spec: MachineSpec, seed: int = 0,
                  noise: Optional[NoiseModel] = None,
                  completion_slack: float = 0.01,
-                 fairness_slack: float = 0.08) -> None:
+                 fairness_slack: float = 0.08,
+                 solver: Optional[str] = None) -> None:
         self.spec = spec
         self.sim = Simulator()
         self.flows = FlowNetwork(self.sim, completion_slack=completion_slack,
-                                 fairness_slack=fairness_slack)
+                                 fairness_slack=fairness_slack,
+                                 solver=solver)
         self.streams = RandomStreams(seed)
         self.monitor = Monitor()
         self.noise = noise if noise is not None else OSNoise()

@@ -14,9 +14,29 @@ vectorised solves rather than O(F²) Python loops: shares are recomputed
 only when the set of active flows changes (arrivals are batched per
 timestamp; completions are discovered by a single "next completion" event).
 
-Three further optimisations keep the hot loop O(active) rather than
+Four further optimisations keep the hot loop O(changed) rather than
 O(everything):
 
+- **component-partitioned incremental solves** — the simulated topologies
+  (node-local shmem/NIC links, per-OST stripes, file-per-process targets)
+  split the active flow set into many resource-disjoint *connected
+  components* of the contention graph that cannot affect each other's
+  max-min rates. A union-find over capacity indices tracks the partition
+  (resources merge when a flow spans them; a lazy rebuild splits stale
+  unions once enough multi-resource flows have departed), and
+  :meth:`FlowNetwork._recompute` re-runs the water-filling only over the
+  *dirty* components — the ones an arrival, departure or capacity change
+  actually touched — while every clean component keeps its rates. Exact
+  max-min decomposes over resource-disjoint components, so at
+  ``fairness_slack=0`` the result is bit-identical to solving the whole
+  network (``REPRO_SOLVER=global`` forces that path for debugging). The
+  cheap O(active) vectorised bookkeeping — advancing progress, detecting
+  completions, arming the next-completion tick — deliberately stays
+  global: per-component next-completion targets are merged with a single
+  vectorised min (the min of per-component minima *is* the global
+  minimum, bit-for-bit), because caching a clean component's absolute
+  target across recomputes would drift by float ulps from what the
+  forced-global solve computes and silently break bit-identity.
 - **flow-class water-filling** — flows with an identical (resource
   signature, rate cap) pair are provably allocated identical rates by
   max-min fairness, so the freeze rounds of :meth:`FlowNetwork._maxmin_rates`
@@ -26,28 +46,34 @@ O(everything):
   bit-identical to the per-flow solve at ``fairness_slack=0``.
 - **packed active indices** — :meth:`_advance` and
   :meth:`_complete_finished` touch only the packed array of active slots,
-  not the whole (grown) slot arrays.
+  not the whole (grown) slot arrays; the packed ascending array is
+  maintained incrementally under insert/release (batched
+  ``searchsorted`` merges) instead of being re-sorted from scratch.
 - **incremental arrivals + a reschedulable completion tick** — an arrival
   batch whose flows are all rate-cap-limited and fit into the slack of
   every capacity they touch cannot change existing allocations (each new
   flow is cap-limited, every touched capacity stays unsaturated, so the
   Bertsekas–Gallager bottleneck conditions still hold for every flow);
-  such batches are granted their caps without a full solve. The "next
-  completion" timer is a single re-armable tick instead of one
-  version-stale callback per recomputation piling up in the event heap.
+  such batches are granted their caps without a solve, per component.
+  The "next completion" timer is a single re-armable tick backed by a
+  small heap of outstanding fire times instead of one version-stale
+  callback per recomputation piling up in the event heap.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
-from typing import Dict, List, Optional, Sequence
+import os
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.des.core import Event, Simulator, PRIORITY_LATE
 from repro.errors import SimulationError
 
-__all__ = ["LinkCapacity", "Flow", "FlowNetwork"]
+__all__ = ["LinkCapacity", "Flow", "FlowNetwork",
+           "SOLVER_COMPONENT", "SOLVER_GLOBAL"]
 
 #: Maximum number of capacities a single flow may traverse.
 MAX_RES_PER_FLOW = 4
@@ -58,6 +84,28 @@ _REL_EPS = 1e-9
 #: a touched capacity must stay below this fraction of its size after the
 #: batch is granted, otherwise a full water-filling solve runs.
 _FAST_PATH_HEADROOM = 1.0 - 1e-9
+
+#: Solve only the dirty connected components of the contention graph.
+SOLVER_COMPONENT = "component"
+#: Re-solve the whole network on every structural change (debug escape
+#: hatch; bit-identical to the component solver at ``fairness_slack=0``).
+SOLVER_GLOBAL = "global"
+
+#: Component id of flows that touch no capacity (bounded by their rate
+#: cap only); they never contend with anything and are never re-solved.
+_CAPLESS_ROOT = -1
+
+
+def _resolve_solver(solver: Optional[str]) -> str:
+    """Explicit argument beats ``REPRO_SOLVER`` beats the default."""
+    if solver is None:
+        solver = os.environ.get("REPRO_SOLVER", "").strip() or SOLVER_COMPONENT
+    solver = solver.strip().lower()
+    if solver not in (SOLVER_COMPONENT, SOLVER_GLOBAL):
+        raise SimulationError(
+            f"unknown solver {solver!r} (REPRO_SOLVER); expected "
+            f"{SOLVER_COMPONENT!r} or {SOLVER_GLOBAL!r}")
+    return solver
 
 
 class LinkCapacity:
@@ -79,7 +127,7 @@ class LinkCapacity:
         if capacity <= 0:
             raise SimulationError(f"capacity must be > 0, got {capacity}")
         self.network._capacities[self.index] = capacity
-        self.network._pending_structural = True
+        self.network._mark_capacity_changed(self.index)
         self.network._request_recompute()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -132,10 +180,20 @@ class FlowNetwork:
     This turns an N-flow I/O storm with near-identical finish times from N
     share recomputations into a handful, at a bounded per-flow timing
     error. The default is exact (0.0); cluster-scale models opt in.
+
+    ``solver`` picks the share-recomputation strategy: ``"component"``
+    (default, or via ``REPRO_SOLVER``) re-solves only the connected
+    components of the resource-contention graph touched since the last
+    solve; ``"global"`` re-solves the whole network every time. At
+    ``fairness_slack=0`` the two are bit-identical; with a positive
+    fairness slack the component solver batches freeze rounds per
+    component instead of across the whole network, a slightly different
+    (but equally bounded) approximation.
     """
 
     def __init__(self, sim: Simulator, completion_slack: float = 0.0,
-                 fairness_slack: float = 0.0) -> None:
+                 fairness_slack: float = 0.0,
+                 solver: Optional[str] = None) -> None:
         if completion_slack < 0:
             raise SimulationError(
                 f"completion_slack must be >= 0, got {completion_slack}")
@@ -149,6 +207,7 @@ class FlowNetwork:
         #: that turns hundreds of near-equal bottleneck levels (distinct
         #: per-target loads) into a handful of vectorised rounds.
         self.fairness_slack = float(fairness_slack)
+        self.solver = _resolve_solver(solver)
         self._capacities = np.zeros(0, dtype=float)
         self._cap_names: List[str] = []
         self._links: Dict[str, LinkCapacity] = {}
@@ -181,29 +240,58 @@ class FlowNetwork:
         self._live_classes = 0
 
         # Packed active-slot bookkeeping: the set mutates in O(1) per
-        # arrival/departure; the sorted index array is rebuilt lazily so
-        # the vectorised paths touch O(active) slots, never O(capacity).
-        self._active_set: set = set()
+        # arrival/departure; the packed ascending index array absorbs the
+        # pending inserts/removals in one batched searchsorted merge on
+        # next access, so the vectorised paths touch O(active) slots and
+        # maintenance costs O(active + changed·log changed) per batch —
+        # never a from-scratch sort of the whole set.
+        self._active_set: Set[int] = set()
         self._active_idx = np.zeros(0, dtype=np.int64)
-        self._active_dirty = False
+        self._idx_add: Set[int] = set()
+        self._idx_del: Set[int] = set()
+
+        # Contention-component registry: a union-find over capacity
+        # indices tracks the connected components of the resource graph.
+        # Flows merge their resources' components on arrival; departures
+        # can only *split* components, which the union-find cannot
+        # express, so a counter of departed multi-resource flows triggers
+        # a lazy rebuild of the partition from the live flow set.
+        self._res_parent: List[int] = []
+        self._comp_slots: Dict[int, Set[int]] = {}
+        self._comp_dirty: Set[int] = set()
+        self._slot_root = np.full(size, _CAPLESS_ROOT, dtype=np.int64)
+        #: Active flows per capacity; reaching zero resets the consumed
+        #: bandwidth entry so the fast path never sees a stale value.
+        self._res_nflows = np.zeros(0, dtype=np.int64)
+        self._departed_since_rebuild = 0
 
         # Incremental-arrival fast path state.
         self._pending_new: List[int] = []
         self._pending_structural = False
         #: Per-capacity bandwidth consumed by the current allocation
-        #: (valid between recomputations; refreshed by every full solve).
+        #: (valid between recomputations; refreshed by every solve that
+        #: touches the capacity's component).
         self._cap_used = np.zeros(0, dtype=float)
 
         # Reschedulable "next completion" tick: `_tick_target` is the
-        # absolute time of the next predicted completion; `_tick_times`
-        # are the (few) heap entries currently outstanding.
+        # absolute time of the next predicted completion; `_tick_heap`
+        # holds the (few) outstanding heap-entry fire times.
         self._tick_target = math.inf
-        self._tick_times: List[float] = []
+        self._tick_heap: List[float] = []
 
         self._last_update = 0.0
         self._recompute_scheduled = False
         self.total_bytes_moved = 0.0
         self.completed_flows = 0
+
+        # Solver counters (cheap ints; snapshot via `solver_stats`).
+        self._stat_full_solves = 0
+        self._stat_component_solves = 0
+        self._stat_fast_grants = 0
+        self._stat_flows_solved = 0
+        self._stat_recomputes = 0
+        self._stat_rebuilds = 0
+        self._stat_dirty_solved = 0
 
     # ------------------------------------------------------------------ #
     # capacities
@@ -218,6 +306,8 @@ class FlowNetwork:
         self._cap_names.append(name)
         self._capacities = np.append(self._capacities, float(capacity))
         self._cap_used = np.append(self._cap_used, 0.0)
+        self._res_parent.append(index)
+        self._res_nflows = np.append(self._res_nflows, 0)
         link = LinkCapacity(self, index, name)
         self._links[name] = link
         return link
@@ -229,14 +319,169 @@ class FlowNetwork:
     def active_flow_count(self) -> int:
         return len(self._active_set)
 
+    def _activate_slot(self, index: int) -> None:
+        self._active_set.add(index)
+        if index in self._idx_del:
+            self._idx_del.discard(index)
+        else:
+            self._idx_add.add(index)
+
+    def _deactivate_slot(self, index: int) -> None:
+        self._active_set.discard(index)
+        if index in self._idx_add:
+            self._idx_add.discard(index)
+        else:
+            self._idx_del.add(index)
+
     def _active_indices(self) -> np.ndarray:
         """The packed, ascending array of active slot indices."""
-        if self._active_dirty:
-            self._active_idx = np.fromiter(
-                sorted(self._active_set), dtype=np.int64,
-                count=len(self._active_set))
-            self._active_dirty = False
+        if self._idx_del:
+            base = self._active_idx
+            dels = np.fromiter(sorted(self._idx_del), dtype=np.int64,
+                               count=len(self._idx_del))
+            self._active_idx = np.delete(base, np.searchsorted(base, dels))
+            self._idx_del.clear()
+        if self._idx_add:
+            base = self._active_idx
+            adds = np.fromiter(sorted(self._idx_add), dtype=np.int64,
+                               count=len(self._idx_add))
+            self._active_idx = np.insert(
+                base, np.searchsorted(base, adds), adds)
+            self._idx_add.clear()
         return self._active_idx
+
+    # ------------------------------------------------------------------ #
+    # contention components
+    # ------------------------------------------------------------------ #
+    def _find(self, res: int) -> int:
+        """Union-find root of a capacity index (with path halving)."""
+        parent = self._res_parent
+        while parent[res] != res:
+            parent[res] = parent[parent[res]]
+            res = parent[res]
+        return res
+
+    def _union(self, a: int, b: int) -> int:
+        """Merge the components of two capacities; returns the new root."""
+        ra, rb = self._find(a), self._find(b)
+        if ra == rb:
+            return ra
+        slots = self._comp_slots
+        # Union by component population: the smaller flow set moves.
+        if len(slots.get(ra, ())) > len(slots.get(rb, ())):
+            ra, rb = rb, ra
+        self._res_parent[ra] = rb
+        moved = slots.pop(ra, None)
+        if moved:
+            slots.setdefault(rb, set()).update(moved)
+        if ra in self._comp_dirty:
+            self._comp_dirty.discard(ra)
+            self._comp_dirty.add(rb)
+        return rb
+
+    def _attach_component(self, index: int,
+                          res_indices: Tuple[int, ...]) -> None:
+        """Place a newly arrived flow slot into its component."""
+        if not res_indices:
+            root = _CAPLESS_ROOT
+        else:
+            root = self._find(res_indices[0])
+            for res in res_indices[1:]:
+                root = self._union(root, res)
+            self._res_nflows[list(res_indices)] += 1
+        self._comp_slots.setdefault(root, set()).add(index)
+        self._slot_root[index] = root
+
+    def _slot_component(self, index: int) -> int:
+        """Current component root of an active slot."""
+        stored = int(self._slot_root[index])
+        return stored if stored < 0 else self._find(stored)
+
+    def _mark_capacity_changed(self, index: int) -> None:
+        self._pending_structural = True
+        root = self._find(index)
+        if root in self._comp_slots:
+            self._comp_dirty.add(root)
+
+    def _rebuild_components(self) -> None:
+        """Lazy split: refactor the partition from the live flows only.
+
+        The union-find can only merge, so departures leave it coarser
+        than the true contention graph (a departed flow's bridge keeps
+        two now-independent groups fused). A coarser partition is always
+        *correct* — solving two independent components together equals
+        solving them apart — just slower, so the rebuild runs amortised:
+        once per ~max(64, active) departed multi-resource flows.
+        """
+        self._res_parent = list(range(len(self._res_parent)))
+        had_dirty = bool(self._comp_dirty)
+        self._comp_slots = {}
+        self._comp_dirty = set()
+        res_row = self._res
+        for index in self._active_indices():
+            index = int(index)
+            row = res_row[index]
+            first = int(row[0])
+            if first < 0:
+                root = _CAPLESS_ROOT
+            else:
+                root = self._find(first)
+                for k in range(1, MAX_RES_PER_FLOW):
+                    res = int(row[k])
+                    if res < 0:
+                        break
+                    root = self._union(root, res)
+            self._comp_slots.setdefault(root, set()).add(index)
+            self._slot_root[index] = root
+        if had_dirty:
+            # Pre-rebuild dirt cannot be mapped onto the new roots, so
+            # conservatively mark every live component; re-solving a
+            # clean component is bit-identical to keeping its rates.
+            self._comp_dirty = {root for root in self._comp_slots
+                                if root >= 0}
+        self._departed_since_rebuild = 0
+        self._stat_rebuilds += 1
+
+    @property
+    def components_live(self) -> int:
+        """Number of components with at least one active flow."""
+        return len(self._comp_slots)
+
+    def component_of(self, link: LinkCapacity) -> int:
+        """Current component root of a capacity (for tests/debugging)."""
+        return self._find(link.index)
+
+    def component_targets(self) -> Dict[int, float]:
+        """Absolute next-completion time per live component.
+
+        Merging these (one vectorised min) yields exactly the global
+        completion-tick target; exposed for the solver statistics and
+        the equivalence tests.
+        """
+        out: Dict[int, float] = {}
+        now = self.sim.now
+        for root, slots in self._comp_slots.items():
+            idx = np.fromiter(sorted(slots), dtype=np.int64,
+                              count=len(slots))
+            with np.errstate(divide="ignore"):
+                finish = self._remaining[idx] / self._rate[idx]
+            out[root] = now + max(float(finish.min()), 0.0)
+        return out
+
+    @property
+    def solver_stats(self) -> Dict[str, int]:
+        """Cumulative solver counters (full vs component vs fast path)."""
+        return {
+            "solver": self.solver,
+            "recomputes": self._stat_recomputes,
+            "full_solves": self._stat_full_solves,
+            "component_solves": self._stat_component_solves,
+            "fast_grants": self._stat_fast_grants,
+            "flows_solved": self._stat_flows_solved,
+            "components_live": len(self._comp_slots),
+            "components_solved": self._stat_dirty_solved,
+            "rebuilds": self._stat_rebuilds,
+        }
 
     # ------------------------------------------------------------------ #
     # flows
@@ -283,10 +528,10 @@ class FlowNetwork:
             self._res[index, k] = res.index
         self._active[index] = True
         self._flows[index] = flow
-        self._slot_class[index] = self._class_of(
-            tuple(int(res.index) for res in resources), float(rate_cap))
-        self._active_set.add(index)
-        self._active_dirty = True
+        res_indices = tuple(int(res.index) for res in resources)
+        self._slot_class[index] = self._class_of(res_indices, float(rate_cap))
+        self._attach_component(index, res_indices)
+        self._activate_slot(index)
         self._pending_new.append(index)
         self._request_recompute()
         return flow
@@ -350,6 +595,9 @@ class FlowNetwork:
             grown_class = np.zeros(new, dtype=np.int64)
             grown_class[:old] = self._slot_class
             self._slot_class = grown_class
+            grown_root = np.full(new, _CAPLESS_ROOT, dtype=np.int64)
+            grown_root[:old] = self._slot_root
+            self._slot_root = grown_root
             self._flows.extend([None] * (new - old))
             self._free.extend(range(new - 1, old - 1, -1))
         return self._free.pop()
@@ -362,12 +610,34 @@ class FlowNetwork:
         self._request_recompute()
 
     def _release_slot(self, index: int) -> None:
+        row = self._res[index]
+        for k in range(MAX_RES_PER_FLOW):
+            res = int(row[k])
+            if res < 0:
+                break
+            self._res_nflows[res] -= 1
+            if self._res_nflows[res] == 0:
+                # No flows left on this capacity: its consumed-bandwidth
+                # entry must read exactly 0.0, as a full solve would
+                # compute, so the fast path never sees a stale positive.
+                self._cap_used[res] = 0.0
+        root = self._slot_component(index)
+        slots = self._comp_slots.get(root)
+        if slots is not None:
+            slots.discard(index)
+            if not slots:
+                del self._comp_slots[root]
+                self._comp_dirty.discard(root)
+            elif root >= 0:
+                self._comp_dirty.add(root)
+        if int(row[1]) >= 0:
+            # Only a multi-resource flow can leave a stale union behind.
+            self._departed_since_rebuild += 1
         self._active[index] = False
         self._flows[index] = None
         self._rate[index] = 0.0
         self._remaining[index] = 0.0
-        self._active_set.discard(index)
-        self._active_dirty = True
+        self._deactivate_slot(index)
         self._free.append(index)
         cid = int(self._slot_class[index])
         self._class_refs[cid] -= 1
@@ -390,7 +660,14 @@ class FlowNetwork:
         self.sim.call_later(0.0, self._recompute, priority=PRIORITY_LATE)
 
     def _advance(self) -> None:
-        """Progress all active flows from the last update time to now."""
+        """Progress all active flows from the last update time to now.
+
+        Deliberately global even under the component solver: advancing a
+        clean component lazily (one coarse step at its own next event)
+        accumulates different floating-point rounding than the global
+        solver's per-event steps, which would break bit-identity between
+        ``REPRO_SOLVER=component`` and ``REPRO_SOLVER=global``.
+        """
         now = self.sim.now
         dt = now - self._last_update
         if dt > 0 and self._active_set:
@@ -404,40 +681,122 @@ class FlowNetwork:
 
     def _recompute(self) -> None:
         self._recompute_scheduled = False
+        self._stat_recomputes += 1
         self._advance()
+        if self.solver == SOLVER_COMPONENT and self._departed_since_rebuild \
+                > max(64, len(self._active_set)):
+            self._rebuild_components()
         completed = self._complete_finished()
         arrivals, self._pending_new = self._pending_new, []
         structural = self._pending_structural or completed
         self._pending_structural = False
 
-        if self._active_flow_total() == 0:
+        if not self._active_set:
             self._tick_target = math.inf
+            self._comp_dirty.clear()
+            self._trace_solve()
             return
 
-        if not structural and arrivals \
-                and self._try_fast_arrivals(arrivals):
-            return
+        if self.solver == SOLVER_GLOBAL:
+            self._recompute_global(arrivals, structural)
+        else:
+            self._recompute_components(arrivals)
+        self._trace_solve()
 
+    def _recompute_global(self, arrivals: List[int],
+                          structural: bool) -> None:
+        """The forced-global path: one solve over every active flow."""
+        self._comp_dirty.clear()
+        if not structural and arrivals and self._fast_grant(arrivals):
+            self._stat_fast_grants += 1
+            self._arm_from_finish()
+            return
         idx = self._active_indices()
-        rates = self._maxmin_rates(idx)
+        rates, used = self._maxmin_rates(idx)
         self._rate[idx] = rates
-        with np.errstate(divide="ignore"):
-            finish = self._remaining[idx] / rates
-        self._arm_tick(max(float(finish.min()), 0.0))
+        self._cap_used = used
+        self._stat_full_solves += 1
+        self._stat_flows_solved += idx.size
+        self._arm_from_finish()
 
-    def _active_flow_total(self) -> int:
-        return len(self._active_set)
+    def _recompute_components(self, arrivals: List[int]) -> None:
+        """Solve only the dirty components; fast-grant clean arrivals."""
+        dirty = self._comp_dirty
+        if arrivals:
+            groups: Dict[int, List[int]] = {}
+            for index in arrivals:
+                if not self._active[index]:
+                    continue  # completed within this very batch
+                groups.setdefault(self._slot_component(index), []).append(
+                    index)
+            for root in sorted(groups):
+                if root in dirty:
+                    continue  # the component solve below covers them
+                if self._fast_grant(groups[root]):
+                    self._stat_fast_grants += 1
+                elif root >= 0:
+                    dirty.add(root)
+        self._stat_dirty_solved += len(dirty)
+        covered = sum(len(self._comp_slots.get(root, ()))
+                      for root in dirty)
+        if covered == len(self._active_set):
+            # The dirty set spans every active flow (a single fused
+            # component, or a barrier batch touching all of them): one
+            # whole-network solve over the cached packed index array is
+            # bit-identical to solving the components one by one and
+            # skips the per-component index/mask assembly entirely.
+            idx = self._active_indices()
+            rates, used = self._maxmin_rates(idx)
+            self._rate[idx] = rates
+            self._cap_used = used
+            self._stat_full_solves += 1
+            self._stat_flows_solved += idx.size
+        else:
+            for root in sorted(dirty):
+                slots = self._comp_slots.get(root)
+                if not slots:
+                    continue
+                idx = np.fromiter(sorted(slots), dtype=np.int64,
+                                  count=len(slots))
+                rates, used = self._maxmin_rates(idx)
+                self._rate[idx] = rates
+                touched = self._res[idx]
+                touched = np.unique(touched[touched >= 0])
+                self._cap_used[touched] = used[touched]
+                self._stat_component_solves += 1
+                self._stat_flows_solved += idx.size
+        dirty.clear()
+        self._arm_from_finish()
+
+    def _trace_solve(self) -> None:
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.record_event(
+                "solver", "recompute", "flownet", time=self.sim.now,
+                solver=self.solver,
+                recomputes=self._stat_recomputes,
+                full_solves=self._stat_full_solves,
+                component_solves=self._stat_component_solves,
+                fast_grants=self._stat_fast_grants,
+                flows_solved=self._stat_flows_solved,
+                live=len(self._comp_slots),
+                active=len(self._active_set))
 
     # -- incremental arrivals ------------------------------------------- #
-    def _try_fast_arrivals(self, arrivals: List[int]) -> bool:
-        """Grant an arrival batch without a full solve, when provably safe.
+    def _fast_grant(self, arrivals: List[int]) -> bool:
+        """Grant an arrival batch without a solve, when provably safe.
 
         Sound when every new flow is limited by its own finite rate cap
         and every capacity it touches keeps headroom after the grant: the
         new flows are cap-limited (their bottleneck is themselves) and no
         previously unsaturated capacity saturates, so every existing
         flow's bottleneck structure — hence its max-min rate — is
-        unchanged. Otherwise fall back to the full water-filling solve.
+        unchanged. Otherwise the caller falls back to the water-filling
+        solve (of the whole network or of the batch's component,
+        depending on the solver). Under the component solver the batch is
+        one component's arrivals; resource-disjoint groups check against
+        disjoint capacity entries, so per-component grants accumulate the
+        same ``_cap_used`` values as one global pass.
         """
         caps = self._flow_cap
         capacities = self._capacities
@@ -464,40 +823,56 @@ class FlowNetwork:
             self._rate[index] = caps[index]
         if trial is not None:
             self._cap_used = trial
+        return True
+
+    # -- the completion tick -------------------------------------------- #
+    def _arm_from_finish(self) -> None:
+        """Re-arm the completion tick from the freshly advanced flows.
+
+        The per-component next-completion targets (see
+        :meth:`component_targets`) merge through one vectorised min: the
+        minimum over per-component minima is the global minimum,
+        bit-for-bit, so a single pass over the packed active slots feeds
+        the tick for both solvers identically.
+        """
         idx = self._active_indices()
         with np.errstate(divide="ignore"):
             finish = self._remaining[idx] / self._rate[idx]
         self._arm_tick(max(float(finish.min()), 0.0))
-        return True
 
-    # -- the completion tick -------------------------------------------- #
     def _arm_tick(self, t_next: float) -> None:
         """Point the completion tick at ``now + t_next``.
 
         Keeps at most a handful of heap entries alive: a new entry is
         pushed only when the target moves *earlier* than every
         outstanding entry; a tick that fires early (because the target
-        moved later) re-arms itself instead of recomputing.
+        moved later) re-arms itself instead of recomputing. Outstanding
+        fire times live in a min-heap, so arming and the tick itself are
+        O(log pending) instead of a linear ``min()`` + ``remove()``.
         """
         # Same float expression as Simulator._schedule uses, so the tick
         # fires at a bit-identical timestamp to a delay-scheduled event.
         t_abs = self.sim.now + t_next
         self._tick_target = t_abs
-        if not self._tick_times or min(self._tick_times) > t_abs:
-            self._tick_times.append(t_abs)
+        heap = self._tick_heap
+        if not heap or heap[0] > t_abs:
+            heapq.heappush(heap, t_abs)
             self.sim.call_at(t_abs, self._on_completion_tick,
                              priority=PRIORITY_LATE)
 
     def _on_completion_tick(self) -> None:
-        self._tick_times.remove(self.sim.now)
+        # This tick's own entry is necessarily the heap minimum: every
+        # entry pairs with a callback at exactly its time, and earlier
+        # callbacks have already popped every earlier entry.
+        heapq.heappop(self._tick_heap)
         if not self._active_set or not math.isfinite(self._tick_target):
             return
         if self.sim.now == self._tick_target:
             self._recompute()
-        elif not self._tick_times or min(self._tick_times) > self._tick_target:
+        elif not self._tick_heap or self._tick_heap[0] > self._tick_target:
             # Fired early (the predicted completion moved later after an
             # arrival); re-arm at the current target.
-            self._tick_times.append(self._tick_target)
+            heapq.heappush(self._tick_heap, self._tick_target)
             self.sim.call_at(self._tick_target, self._on_completion_tick,
                              priority=PRIORITY_LATE)
 
@@ -529,15 +904,21 @@ class FlowNetwork:
             flow.event.succeed(flow)
         return True
 
-    def _maxmin_rates(self, idx: np.ndarray) -> np.ndarray:
-        """Max-min fair rates (with per-flow caps) for active flow slots.
+    def _maxmin_rates(self, idx: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Max-min fair rates (with per-flow caps) for the given slots.
+
+        Returns ``(rates, cap_used)`` where ``cap_used`` is the
+        full-width per-capacity consumption of the solved flows; the
+        caller assigns it wholesale (global solve) or masked to the
+        component's resources (component solve) — entries of untouched
+        capacities read 0.0 either way.
 
         Each round computes every unfrozen flow's *candidate* rate — the
         minimum of its resources' fair shares and its own cap — and
         freezes all flows whose candidate lies within ``fairness_slack``
-        of the global bottleneck, at their candidate. With slack 0 this is
-        exact max-min; with a small slack, near-equal bottleneck levels
-        batch into one round (hundreds of rounds → a handful).
+        of the round's bottleneck, at their candidate. With slack 0 this
+        is exact max-min; with a small slack, near-equal bottleneck
+        levels batch into one round (hundreds of rounds → a handful).
 
         The rounds run over *equivalence classes* of flows with identical
         (resource signature, rate cap): all members of a class see the
@@ -545,12 +926,17 @@ class FlowNetwork:
         and freeze together. Resource occupancy counts weight each class
         by its multiplicity, and the capacity consumed by a freeze is
         scattered per flow in ascending slot order, so the result is
-        bit-identical to the per-flow solve at ``fairness_slack=0``.
+        bit-identical to the per-flow solve at ``fairness_slack=0`` —
+        and, because every per-capacity accumulation involves only that
+        capacity's own component's flows in the same order, a solve over
+        one component is bit-identical to the same flows' rows of a
+        solve over the whole network.
         """
-        if self._live_classes == idx.size:
-            # Every class is a singleton (e.g. all caps distinct): the
-            # class indirection cannot collapse anything, so run the
-            # plain per-flow solve.
+        if self._live_classes == len(self._active_set):
+            # Every live class is a singleton (e.g. all caps distinct):
+            # the class indirection cannot collapse anything, so run the
+            # plain per-flow solve. (The predicate is global, so both
+            # solvers dispatch the same way for any subset.)
             return self._maxmin_rates_flows(idx)
         nres = self._capacities.size
         batch = 1.0 + self.fairness_slack + 1e-12
@@ -608,16 +994,15 @@ class FlowNetwork:
             np.add.at(consumed, flat_res[flat_valid], flat_rate[flat_valid])
             cap_rem -= consumed
 
-        # The residual capacities double as the consumed-bandwidth table
-        # for the incremental-arrival fast path.
-        self._cap_used = self._capacities - cap_rem
-
         rate = crate[inverse]
         # Numerical safety: every active flow must make progress.
         np.maximum(rate, 1e-12, out=rate)
-        return rate
+        # The residual capacities double as the consumed-bandwidth table
+        # for the incremental-arrival fast path.
+        return rate, self._capacities - cap_rem
 
-    def _maxmin_rates_flows(self, idx: np.ndarray) -> np.ndarray:
+    def _maxmin_rates_flows(self, idx: np.ndarray
+                            ) -> Tuple[np.ndarray, np.ndarray]:
         """The per-flow water-filling solve (identical rounds, no class
         indirection); used when every class is a singleton."""
         res = self._res[idx]                      # (F, K)
@@ -664,8 +1049,6 @@ class FlowNetwork:
             np.add.at(consumed, flat_res[flat_valid], flat_rate[flat_valid])
             cap_rem -= consumed
 
-        self._cap_used = self._capacities - cap_rem
-
         # Numerical safety: every active flow must make progress.
         np.maximum(rate, 1e-12, out=rate)
-        return rate
+        return rate, self._capacities - cap_rem

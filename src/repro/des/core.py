@@ -165,6 +165,11 @@ class Simulator:
         """Current simulated time in seconds."""
         return self._now
 
+    @property
+    def queue_depth(self) -> int:
+        """Number of outstanding heap entries (events + slim callbacks)."""
+        return len(self._heap)
+
     # -- factory helpers ---------------------------------------------------
     def event(self) -> Event:
         """Create a new pending :class:`Event`."""

@@ -19,8 +19,9 @@ produce bit-identical results. This module provides the fan-out:
 
 Caching is off unless requested: pass an explicit
 :class:`~repro.cache.ResultCache`, or set ``REPRO_CACHE=1`` (location
-via ``REPRO_CACHE_DIR``). The normalised ``REPRO_FAST`` flag is folded
-into every key because drivers read it inside the task body; a
+via ``REPRO_CACHE_DIR``). The normalised ``REPRO_FAST`` flag and
+``REPRO_SOLVER`` mode are folded into every key because drivers read
+them inside the task body; a
 ``REPRO_TRACE`` run bypasses the cache entirely, since serving a hit
 would silently skip the trace files the task is expected to emit.
 
@@ -116,12 +117,16 @@ def _call(task: SweepTask) -> Any:
     return task.run()
 
 
-def _fast_mode_context() -> Dict[str, Any]:
-    # The drivers read REPRO_FAST *inside* the task body (phase counts),
-    # so two runs with identical task arguments can differ across fast
-    # modes; fold the normalised flag into every cache key.
+def _env_mode_context() -> Dict[str, Any]:
+    # The drivers read REPRO_FAST (phase counts) and REPRO_SOLVER
+    # (bandwidth-share strategy — at the cluster models' nonzero
+    # fairness_slack the solvers batch freeze rounds differently) *inside*
+    # the task body, so two runs with identical task arguments can differ
+    # across these modes; fold the normalised values into every cache key.
+    from repro.des.bandwidth import _resolve_solver
+
     fast = os.environ.get("REPRO_FAST", "") not in ("", "0", "false")
-    return {"repro_fast": fast}
+    return {"repro_fast": fast, "repro_solver": _resolve_solver(None)}
 
 
 def _resolve_cache(cache: Union[ResultCache, None, bool],
@@ -130,9 +135,9 @@ def _resolve_cache(cache: Union[ResultCache, None, bool],
         return None
     if isinstance(cache, ResultCache):
         if cache.context is None:
-            cache.context = _fast_mode_context()
+            cache.context = _env_mode_context()
         return cache
-    return cache_from_env(context=_fast_mode_context())
+    return cache_from_env(context=_env_mode_context())
 
 
 def run_sweep(tasks: Iterable[SweepTask],

@@ -24,6 +24,11 @@ content-addressed store in ``REPRO_CACHE_DIR`` and only computes what
 changed — editing one platform preset re-runs that preset's points and
 nothing else, since the store keys every result by (spec, model source
 fingerprint). Warm results are bit-identical to cold ones.
+
+``REPRO_SOLVER=global`` forces the reference whole-network bandwidth
+solver inside every sweep point (see
+:mod:`repro.des.bandwidth`) — slower, for debugging the default
+component-partitioned solver; the mode is folded into cache keys.
 """
 
 from __future__ import annotations

@@ -34,6 +34,7 @@ from repro.observe.aggregate import (
     per_category_table,
     per_target_table,
     render_summary,
+    solver_table,
 )
 
 __all__ = [
@@ -57,4 +58,5 @@ __all__ = [
     "per_category_table",
     "per_target_table",
     "render_summary",
+    "solver_table",
 ]

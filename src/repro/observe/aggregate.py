@@ -20,6 +20,7 @@ __all__ = [
     "per_target_table",
     "merge_intervals",
     "overlap_seconds",
+    "solver_table",
     "render_summary",
 ]
 
@@ -65,6 +66,36 @@ def per_target_table(tracer: Tracer) -> List[Dict[str, object]]:
              if "target" in span.attrs]
     return aggregate_spans(spans, key=lambda span: span.attrs["target"],
                            key_column="target")
+
+
+def solver_table(tracer: Tracer) -> List[Dict[str, object]]:
+    """One row per bandwidth network with its final solver counters.
+
+    The :class:`~repro.des.bandwidth.FlowNetwork` records a ``solver``
+    event after every recomputation whose attributes are *cumulative*
+    counters, so the last event per actor is the run total: how many
+    recomputations hit the full water-filling solve, how many were
+    component-partitioned, and how many were absorbed by the
+    incremental-arrival fast path.
+    """
+    last: Dict[str, object] = {}
+    for event in tracer.events_in("solver"):
+        last[event.actor] = event
+    rows = []
+    for actor in sorted(last):
+        event = last[actor]
+        attrs = event.attrs
+        rows.append({
+            "actor": actor,
+            "solver": attrs.get("solver", "?"),
+            "recomputes": int(attrs.get("recomputes", 0)),
+            "full": int(attrs.get("full_solves", 0)),
+            "component": int(attrs.get("component_solves", 0)),
+            "fast": int(attrs.get("fast_grants", 0)),
+            "flows_solved": int(attrs.get("flows_solved", 0)),
+            "live_comps": int(attrs.get("live", 0)),
+        })
+    return rows
 
 
 # ---------------------------------------------------------------------- #
@@ -124,6 +155,9 @@ def render_summary(tracer: Tracer) -> str:
     by_target = per_target_table(tracer)
     if by_target:
         parts += ["", "-- by storage target --", render_table(by_target)]
+    by_solver = solver_table(tracer)
+    if by_solver:
+        parts += ["", "-- bandwidth solver --", render_table(by_solver)]
     persists = tracer.spans_in("persist")
     phases = tracer.spans_in("write_phase")
     if persists and phases:

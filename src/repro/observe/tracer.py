@@ -57,6 +57,7 @@ EVENT_CATEGORIES = frozenset({
     "df_signal",     # signal enqueue (runtime side, effectively instant)
     "lock_revoke",   # an extent lock taken from its previous holder
     "queue_depth",   # event-queue depth sample
+    "solver",        # bandwidth-solver counters after one recomputation
     "error",         # a recoverable anomaly (e.g. server poll timeout)
 })
 

@@ -10,6 +10,7 @@ Usage::
     python -m repro.tools.figures --trace traces/ fig2   # record traces
     python -m repro.tools.figures --cache all         # reuse cached points
     python -m repro.tools.figures --cache --cache-dir /tmp/c fig4
+    python -m repro.tools.figures --solver global fig2   # debug escape hatch
 
 ``--parallel N`` (or ``REPRO_PARALLEL=N`` in the environment) fans the
 independent sweep configurations of each driver out over ``N`` worker
@@ -27,6 +28,15 @@ automatically whenever the ``repro`` source tree changes. ``--no-cache``
 forces caching off regardless of the environment. Inspect and maintain
 the store with ``python -m repro.tools.cachectl``. A ``--trace`` run
 bypasses the cache (trace files are a side effect a hit would skip).
+
+``--solver component|global`` (or ``REPRO_SOLVER``) picks the
+bandwidth-share recomputation strategy: ``component`` (the default)
+re-solves only the connected components of the resource-contention
+graph touched since the last solve; ``global`` re-solves the whole
+network every time — slower, but the reference behaviour to diff
+against when debugging (bit-identical at ``fairness_slack=0``). The
+mode is folded into cache keys, so cached points never leak across
+solvers.
 
 Each driver prints the same rows the corresponding bench asserts on and
 that EXPERIMENTS.md documents.
@@ -78,6 +88,21 @@ def main(argv=None) -> int:
         del argv[at:at + 2]
         # The sweep workers pick this up in figures._run_spec.
         os.environ["REPRO_TRACE"] = trace_dir
+    if "--solver" in argv:
+        at = argv.index("--solver")
+        try:
+            solver = argv[at + 1]
+        except IndexError:
+            print("--solver requires a mode (component|global)",
+                  file=sys.stderr)
+            return 2
+        if solver not in ("component", "global"):
+            print(f"--solver must be 'component' or 'global', got {solver!r}",
+                  file=sys.stderr)
+            return 2
+        del argv[at:at + 2]
+        # FlowNetwork reads this when each sweep worker builds its machine.
+        os.environ["REPRO_SOLVER"] = solver
     if "--cache-dir" in argv:
         at = argv.index("--cache-dir")
         try:

@@ -6,11 +6,15 @@ Usage::
     python -m repro.tools.tracereport trace.jsonl --by actor
     python -m repro.tools.tracereport trace.jsonl --by category
     python -m repro.tools.tracereport trace.jsonl --by target
+    python -m repro.tools.tracereport trace.jsonl --by solver
     python -m repro.tools.tracereport trace.jsonl --chrome out.json
 
-The summary shows per-category, per-actor and per-storage-target tables
-plus the persist-vs-write_phase overlap (the structural form of the
-paper's jitter-hiding claim). ``--chrome`` converts the JSONL trace to
+The summary shows per-category, per-actor, per-storage-target and
+bandwidth-solver tables plus the persist-vs-write_phase overlap (the
+structural form of the paper's jitter-hiding claim). The solver table
+reports how the flow-network share recomputations were served: full
+water-filling solves vs component-partitioned solves vs incremental
+fast-path grants. ``--chrome`` converts the JSONL trace to
 Chrome ``trace_event`` format — open it at ``chrome://tracing`` or
 https://ui.perfetto.dev to see the timeline.
 """
@@ -27,10 +31,11 @@ from repro.observe.aggregate import (
     per_category_table,
     per_target_table,
     render_summary,
+    solver_table,
 )
 from repro.observe.export import dump_chrome_trace, load_jsonl
 
-_GROUPINGS = ("actor", "category", "target")
+_GROUPINGS = ("actor", "category", "target", "solver")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -85,6 +90,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(render_table(per_category_table(tracer)))
     elif grouping == "target":
         print(render_table(per_target_table(tracer)))
+    elif grouping == "solver":
+        print(render_table(solver_table(tracer)))
     else:
         print(render_summary(tracer))
     return 0

@@ -58,11 +58,11 @@ def reference_maxmin(flows, capacities):
     return [max(r, 1e-12) for r in rates]
 
 
-def solver_rates(flows, capacities):
+def solver_rates(flows, capacities, solver="component"):
     """Feed the same flow set through FlowNetwork and read back the
     rates it assigns after the first recompute."""
     sim = Simulator()
-    net = FlowNetwork(sim)
+    net = FlowNetwork(sim, solver=solver)
     links = [net.add_capacity(f"r{i}", c) for i, c in enumerate(capacities)]
     for resources, cap in flows:
         net.transfer([links[r] for r in resources], 1e9, rate_cap=cap)
@@ -95,14 +95,15 @@ def random_flow_set(rng, allow_duplicates):
     return flows, capacities
 
 
+@pytest.mark.parametrize("solver", ["component", "global"])
 @pytest.mark.parametrize("seed", range(20))
 @pytest.mark.parametrize("allow_duplicates", [False, True],
                          ids=["distinct", "duplicated"])
-def test_solver_matches_reference(seed, allow_duplicates):
+def test_solver_matches_reference(seed, allow_duplicates, solver):
     rng = np.random.default_rng(1000 + seed)
     flows, capacities = random_flow_set(rng, allow_duplicates)
     expected = reference_maxmin(flows, capacities)
-    got = solver_rates(flows, capacities)
+    got = solver_rates(flows, capacities, solver=solver)
     assert len(got) == len(expected)
     np.testing.assert_allclose(got, expected, rtol=1e-9, atol=1e-9)
 
