@@ -70,10 +70,13 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from repro.des.core import Event, Simulator, PRIORITY_LATE
+from repro.des.kernels import (KERNEL_COMPILED, KERNEL_PYTHON,
+                               compiled_kernel, resolve_kernel)
 from repro.errors import SimulationError
 
 __all__ = ["LinkCapacity", "Flow", "FlowNetwork",
-           "SOLVER_COMPONENT", "SOLVER_GLOBAL"]
+           "SOLVER_COMPONENT", "SOLVER_GLOBAL",
+           "KERNEL_COMPILED", "KERNEL_PYTHON"]
 
 #: Maximum number of capacities a single flow may traverse.
 MAX_RES_PER_FLOW = 4
@@ -193,7 +196,8 @@ class FlowNetwork:
 
     def __init__(self, sim: Simulator, completion_slack: float = 0.0,
                  fairness_slack: float = 0.0,
-                 solver: Optional[str] = None) -> None:
+                 solver: Optional[str] = None,
+                 kernel: Optional[str] = None) -> None:
         if completion_slack < 0:
             raise SimulationError(
                 f"completion_slack must be >= 0, got {completion_slack}")
@@ -208,6 +212,12 @@ class FlowNetwork:
         #: per-target loads) into a handful of vectorised rounds.
         self.fairness_slack = float(fairness_slack)
         self.solver = _resolve_solver(solver)
+        #: Water-filling implementation: ``python`` (numpy, always
+        #: available) or ``compiled`` (see :mod:`repro.des.kernels`);
+        #: bit-identical at any slack, so this is pure speed.
+        self.kernel = resolve_kernel(kernel)
+        self._kernel_impl = (compiled_kernel()
+                             if self.kernel == KERNEL_COMPILED else None)
         self._capacities = np.zeros(0, dtype=float)
         self._cap_names: List[str] = []
         self._links: Dict[str, LinkCapacity] = {}
@@ -292,6 +302,7 @@ class FlowNetwork:
         self._stat_recomputes = 0
         self._stat_rebuilds = 0
         self._stat_dirty_solved = 0
+        self._stat_kernel_solves = 0
 
     # ------------------------------------------------------------------ #
     # capacities
@@ -473,11 +484,13 @@ class FlowNetwork:
         """Cumulative solver counters (full vs component vs fast path)."""
         return {
             "solver": self.solver,
+            "kernel": self.kernel,
             "recomputes": self._stat_recomputes,
             "full_solves": self._stat_full_solves,
             "component_solves": self._stat_component_solves,
             "fast_grants": self._stat_fast_grants,
             "flows_solved": self._stat_flows_solved,
+            "kernel_solves": self._stat_kernel_solves,
             "components_live": len(self._comp_slots),
             "components_solved": self._stat_dirty_solved,
             "rebuilds": self._stat_rebuilds,
@@ -774,11 +787,13 @@ class FlowNetwork:
             tracer.record_event(
                 "solver", "recompute", "flownet", time=self.sim.now,
                 solver=self.solver,
+                kernel=self.kernel,
                 recomputes=self._stat_recomputes,
                 full_solves=self._stat_full_solves,
                 component_solves=self._stat_component_solves,
                 fast_grants=self._stat_fast_grants,
                 flows_solved=self._stat_flows_solved,
+                kernel_solves=self._stat_kernel_solves,
                 live=len(self._comp_slots),
                 active=len(self._active_set))
 
@@ -931,7 +946,20 @@ class FlowNetwork:
         capacity's own component's flows in the same order, a solve over
         one component is bit-identical to the same flows' rows of a
         solve over the whole network.
+
+        With ``kernel="compiled"`` the whole solve — class uniquing,
+        freeze rounds, per-flow scatter — runs in the compiled kernel
+        (:mod:`repro.des.kernels`), which replicates this method's
+        floating-point operation order exactly and is therefore
+        bit-identical at *any* slack, for singleton and collapsed
+        classes alike.
         """
+        kern = self._kernel_impl
+        if kern is not None:
+            self._stat_kernel_solves += 1
+            return kern.solve(self._slot_class[idx], self._class_res,
+                              self._class_cap, self._capacities,
+                              self.fairness_slack)
         if self._live_classes == len(self._active_set):
             # Every live class is a singleton (e.g. all caps distinct):
             # the class indirection cannot collapse anything, so run the

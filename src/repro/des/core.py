@@ -1,17 +1,23 @@
 """Event loop, simulated clock and primitive events.
 
-The kernel is deliberately small: a binary heap of ``(time, priority, seq)``
-keys mapped to :class:`Event` objects. Everything else (processes,
-resources, flows) is built on top of events and callbacks.
+The kernel is deliberately small: a priority queue of ``(time, priority,
+seq)`` keys mapped to :class:`Event` objects (or bare callables from the
+slim-callback API). Everything else (processes, resources, flows) is
+built on top of events and callbacks. The queue itself is pluggable —
+see :mod:`repro.des.sched` for the calendar-queue default and the
+binary-heap fallback, selected with ``REPRO_SCHEDULER`` or the
+``scheduler=`` constructor argument; all schedulers pop in the same
+``(time, priority, seq)`` total order, so the choice never changes
+simulation results.
 """
 
 from __future__ import annotations
 
-import heapq
 import math
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import SimulationError
+from repro.des.sched import CalendarScheduler, make_scheduler
 from repro.observe.tracer import NULL_TRACER
 
 __all__ = ["Event", "Simulator", "Timeout", "PRIORITY_URGENT",
@@ -148,17 +154,21 @@ class Simulator:
     [3.0]
     """
 
-    def __init__(self) -> None:
+    def __init__(self, scheduler: Optional[str] = None) -> None:
         self._now = 0.0
-        self._heap: List[Any] = []
+        self._sched = make_scheduler(scheduler)
         self._seq = 0
         self._running = False
+        #: Resolved scheduler mode ("calendar" or "heap").
+        self.scheduler = self._sched.name
         #: Instrumentation sink every model layer reaches through the
         #: simulator it already holds. The shared no-op tracer keeps the
         #: disabled hot path to one attribute load + one branch; swap in
         #: a real :class:`repro.observe.Tracer` (sim-time clock) to
         #: record — see :meth:`repro.cluster.machine.Machine.attach_tracer`.
         self.tracer = NULL_TRACER
+        if isinstance(self._sched, CalendarScheduler):
+            self._sched.on_resize = self._on_sched_resize
 
     @property
     def now(self) -> float:
@@ -167,8 +177,28 @@ class Simulator:
 
     @property
     def queue_depth(self) -> int:
-        """Number of outstanding heap entries (events + slim callbacks)."""
-        return len(self._heap)
+        """Number of outstanding queue entries (events + slim callbacks)."""
+        return len(self._sched)
+
+    @property
+    def _heap(self) -> List[Any]:
+        """Pending ``(time, priority, seq, entry)`` tuples in pop order.
+
+        A sorted snapshot, kept for tests and debugging; the live queue
+        is ``self._sched`` (which may not be a heap at all).
+        """
+        return self._sched.entries()
+
+    @property
+    def scheduler_stats(self) -> Dict[str, Any]:
+        """The active scheduler's counters (shape depends on the mode)."""
+        return self._sched.stats
+
+    def _on_sched_resize(self, stats: Dict[str, Any]) -> None:
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.record_event("sched", "resize", "simulator",
+                                time=self._now, **stats)
 
     # -- factory helpers ---------------------------------------------------
     def event(self) -> Event:
@@ -186,16 +216,23 @@ class Simulator:
         return Process(self, generator)
 
     # -- scheduling ---------------------------------------------------------
+    def _push(self, time: float, priority: int, entry: Any) -> None:
+        """The single queue-insertion point: every scheduling path —
+        events and slim callbacks, relative and absolute — funnels
+        through here, so the sequence counter (the FIFO tie-break) and
+        the scheduler interface live in exactly one place."""
+        self._seq += 1
+        self._sched.push(time, priority, self._seq, entry)
+
     def _schedule(self, event: Event, delay: float = 0.0,
                   priority: int = PRIORITY_NORMAL) -> None:
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        self._schedule_at(event, self._now + delay, priority)
+        self._push(self._now + delay, priority, event)
 
     def _schedule_at(self, event: Event, time: float,
                      priority: int = PRIORITY_NORMAL) -> None:
-        self._seq += 1
-        heapq.heappush(self._heap, (time, priority, self._seq, event))
+        self._push(time, priority, event)
 
     def schedule_callback(self, delay: float, callback: Callable[[], None],
                           priority: int = PRIORITY_NORMAL) -> Event:
@@ -220,9 +257,7 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        self._seq += 1
-        heapq.heappush(self._heap,
-                       (self._now + delay, priority, self._seq, callback))
+        self._push(self._now + delay, priority, callback)
 
     def call_at(self, time: float, callback: Callable[[], None],
                 priority: int = PRIORITY_NORMAL) -> None:
@@ -235,8 +270,7 @@ class Simulator:
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule in the past (time={time}, now={self._now})")
-        self._seq += 1
-        heapq.heappush(self._heap, (time, priority, self._seq, callback))
+        self._push(time, priority, callback)
 
     def schedule_callback_at(self, time: float, callback: Callable[[], None],
                              priority: int = PRIORITY_NORMAL) -> Event:
@@ -258,13 +292,14 @@ class Simulator:
     # -- the loop ------------------------------------------------------------
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._heap[0][0] if self._heap else float("inf")
+        return self._sched.peek_time()
 
     def step(self) -> None:
-        """Process exactly one heap entry (an event or a slim callback)."""
-        if not self._heap:
+        """Process exactly one queue entry (an event or a slim callback)."""
+        sched = self._sched
+        if not len(sched):
             raise SimulationError("step() on an empty event queue")
-        time, _prio, _seq, entry = heapq.heappop(self._heap)
+        time, _prio, _seq, entry = sched.pop()
         self._now = time
         if isinstance(entry, Event):
             entry._process()
@@ -276,15 +311,16 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
+        sched = self._sched
         try:
             if until is None:
-                while self._heap:
+                while len(sched):
                     self.step()
             else:
                 if until < self._now:
                     raise SimulationError(
                         f"run(until={until}) is in the past (now={self._now})")
-                while self._heap and self._heap[0][0] <= until:
+                while len(sched) and sched.peek_time() <= until:
                     self.step()
                 # Advance the clock to the bound, but only for a finite
                 # bound: run(until=inf) drains the queue and leaves the
@@ -300,7 +336,7 @@ class Simulator:
         finished = []
         process.callbacks.append(finished.append)
         while not finished:
-            if not self._heap:
+            if not len(self._sched):
                 raise SimulationError(
                     "event queue exhausted before the awaited event completed")
             self.step()

@@ -118,15 +118,22 @@ def _call(task: SweepTask) -> Any:
 
 
 def _env_mode_context() -> Dict[str, Any]:
-    # The drivers read REPRO_FAST (phase counts) and REPRO_SOLVER
+    # The drivers read REPRO_FAST (phase counts), REPRO_SOLVER
     # (bandwidth-share strategy — at the cluster models' nonzero
-    # fairness_slack the solvers batch freeze rounds differently) *inside*
-    # the task body, so two runs with identical task arguments can differ
-    # across these modes; fold the normalised values into every cache key.
+    # fairness_slack the solvers batch freeze rounds differently),
+    # REPRO_KERNEL and REPRO_SCHEDULER *inside* the task body, so two
+    # runs with identical task arguments can differ across these modes;
+    # fold the normalised values into every cache key. (Kernel and
+    # scheduler are bit-identity-tested against their fallbacks, so for
+    # them the fold is a guard, not a correctness requirement.)
     from repro.des.bandwidth import _resolve_solver
+    from repro.des.kernels import resolve_kernel
+    from repro.des.sched import resolve_scheduler
 
     fast = os.environ.get("REPRO_FAST", "") not in ("", "0", "false")
-    return {"repro_fast": fast, "repro_solver": _resolve_solver(None)}
+    return {"repro_fast": fast, "repro_solver": _resolve_solver(None),
+            "repro_kernel": resolve_kernel(None),
+            "repro_scheduler": resolve_scheduler(None)}
 
 
 def _resolve_cache(cache: Union[ResultCache, None, bool],

@@ -20,6 +20,7 @@ __all__ = [
     "per_target_table",
     "merge_intervals",
     "overlap_seconds",
+    "sched_table",
     "solver_table",
     "render_summary",
 ]
@@ -88,12 +89,44 @@ def solver_table(tracer: Tracer) -> List[Dict[str, object]]:
         rows.append({
             "actor": actor,
             "solver": attrs.get("solver", "?"),
+            # Traces recorded before the compiled kernel existed carry
+            # no kernel attrs; report them as the only mode that existed.
+            "kernel": attrs.get("kernel", "python"),
             "recomputes": int(attrs.get("recomputes", 0)),
             "full": int(attrs.get("full_solves", 0)),
             "component": int(attrs.get("component_solves", 0)),
             "fast": int(attrs.get("fast_grants", 0)),
             "flows_solved": int(attrs.get("flows_solved", 0)),
+            "kernel_solves": int(attrs.get("kernel_solves", 0)),
             "live_comps": int(attrs.get("live", 0)),
+        })
+    return rows
+
+
+def sched_table(tracer: Tracer) -> List[Dict[str, object]]:
+    """One row per simulator with its final scheduler counters.
+
+    The :class:`~repro.des.core.Simulator` records a ``sched`` event on
+    every calendar-queue window move/resize whose attributes are the
+    scheduler's *cumulative* stats, so the last event per actor shows
+    how the bucket window behaved over the whole run (a heap-scheduler
+    run records no ``sched`` events and yields no rows).
+    """
+    last: Dict[str, object] = {}
+    for event in tracer.events_in("sched"):
+        last[event.actor] = event
+    rows = []
+    for actor in sorted(last):
+        event = last[actor]
+        attrs = event.attrs
+        rows.append({
+            "actor": actor,
+            "scheduler": attrs.get("scheduler", "?"),
+            "resizes": int(attrs.get("resizes", 0)),
+            "migrations": int(attrs.get("migrations", 0)),
+            "buckets": int(attrs.get("buckets", 0)),
+            "width_s": float(attrs.get("width", 0.0)),
+            "max_pending": int(attrs.get("max_pending", 0)),
         })
     return rows
 
@@ -158,6 +191,9 @@ def render_summary(tracer: Tracer) -> str:
     by_solver = solver_table(tracer)
     if by_solver:
         parts += ["", "-- bandwidth solver --", render_table(by_solver)]
+    by_sched = sched_table(tracer)
+    if by_sched:
+        parts += ["", "-- event scheduler --", render_table(by_sched)]
     persists = tracer.spans_in("persist")
     phases = tracer.spans_in("write_phase")
     if persists and phases:

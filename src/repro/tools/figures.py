@@ -11,6 +11,8 @@ Usage::
     python -m repro.tools.figures --cache all         # reuse cached points
     python -m repro.tools.figures --cache --cache-dir /tmp/c fig4
     python -m repro.tools.figures --solver global fig2   # debug escape hatch
+    python -m repro.tools.figures --kernel compiled fig4  # compiled solve
+    python -m repro.tools.figures --scheduler heap fig2   # binary-heap queue
 
 ``--parallel N`` (or ``REPRO_PARALLEL=N`` in the environment) fans the
 independent sweep configurations of each driver out over ``N`` worker
@@ -37,6 +39,16 @@ network every time — slower, but the reference behaviour to diff
 against when debugging (bit-identical at ``fairness_slack=0``). The
 mode is folded into cache keys, so cached points never leak across
 solvers.
+
+``--kernel compiled|python`` (or ``REPRO_KERNEL``) picks the
+water-filling implementation: ``python`` (the default) is the numpy
+solve, ``compiled`` runs the C/numba kernel from
+:mod:`repro.des.kernels` — bit-identical, several times faster on
+large storms, but needs a C compiler (or the ``repro[compiled]``
+extra) at first use. ``--scheduler calendar|heap`` (or
+``REPRO_SCHEDULER``) picks the event-queue implementation (calendar
+queue by default; the binary heap is the fallback). Both modes are
+folded into cache keys alongside the solver.
 
 Each driver prints the same rows the corresponding bench asserts on and
 that EXPERIMENTS.md documents.
@@ -103,6 +115,36 @@ def main(argv=None) -> int:
         del argv[at:at + 2]
         # FlowNetwork reads this when each sweep worker builds its machine.
         os.environ["REPRO_SOLVER"] = solver
+    if "--kernel" in argv:
+        at = argv.index("--kernel")
+        try:
+            kernel = argv[at + 1]
+        except IndexError:
+            print("--kernel requires a mode (compiled|python)",
+                  file=sys.stderr)
+            return 2
+        if kernel not in ("compiled", "python"):
+            print(f"--kernel must be 'compiled' or 'python', got {kernel!r}",
+                  file=sys.stderr)
+            return 2
+        del argv[at:at + 2]
+        # FlowNetwork reads this when each sweep worker builds its machine.
+        os.environ["REPRO_KERNEL"] = kernel
+    if "--scheduler" in argv:
+        at = argv.index("--scheduler")
+        try:
+            scheduler = argv[at + 1]
+        except IndexError:
+            print("--scheduler requires a mode (calendar|heap)",
+                  file=sys.stderr)
+            return 2
+        if scheduler not in ("calendar", "heap"):
+            print(f"--scheduler must be 'calendar' or 'heap', "
+                  f"got {scheduler!r}", file=sys.stderr)
+            return 2
+        del argv[at:at + 2]
+        # Simulator reads this when each sweep worker builds its machine.
+        os.environ["REPRO_SCHEDULER"] = scheduler
     if "--cache-dir" in argv:
         at = argv.index("--cache-dir")
         try:

@@ -7,14 +7,18 @@ Usage::
     python -m repro.tools.tracereport trace.jsonl --by category
     python -m repro.tools.tracereport trace.jsonl --by target
     python -m repro.tools.tracereport trace.jsonl --by solver
+    python -m repro.tools.tracereport trace.jsonl --by sched
     python -m repro.tools.tracereport trace.jsonl --chrome out.json
 
-The summary shows per-category, per-actor, per-storage-target and
-bandwidth-solver tables plus the persist-vs-write_phase overlap (the
-structural form of the paper's jitter-hiding claim). The solver table
-reports how the flow-network share recomputations were served: full
-water-filling solves vs component-partitioned solves vs incremental
-fast-path grants. ``--chrome`` converts the JSONL trace to
+The summary shows per-category, per-actor, per-storage-target,
+bandwidth-solver and event-scheduler tables plus the
+persist-vs-write_phase overlap (the structural form of the paper's
+jitter-hiding claim). The solver table reports how the flow-network
+share recomputations were served: full water-filling solves vs
+component-partitioned solves vs incremental fast-path grants, and
+which water-filling kernel (python/compiled) served them. The sched
+table reports the calendar-queue scheduler's window resizes and
+migrations. ``--chrome`` converts the JSONL trace to
 Chrome ``trace_event`` format — open it at ``chrome://tracing`` or
 https://ui.perfetto.dev to see the timeline.
 """
@@ -31,11 +35,12 @@ from repro.observe.aggregate import (
     per_category_table,
     per_target_table,
     render_summary,
+    sched_table,
     solver_table,
 )
 from repro.observe.export import dump_chrome_trace, load_jsonl
 
-_GROUPINGS = ("actor", "category", "target", "solver")
+_GROUPINGS = ("actor", "category", "target", "solver", "sched")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -92,6 +97,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(render_table(per_target_table(tracer)))
     elif grouping == "solver":
         print(render_table(solver_table(tracer)))
+    elif grouping == "sched":
+        print(render_table(sched_table(tracer)))
     else:
         print(render_summary(tracer))
     return 0

@@ -4,6 +4,7 @@ import pytest
 
 from repro.des import Simulator
 from repro.des.core import Event, Timeout, PRIORITY_URGENT, PRIORITY_LATE
+from repro.des.sched import CalendarScheduler, HeapScheduler
 from repro.errors import SimulationError
 
 
@@ -262,3 +263,75 @@ class TestSlimCallbacks:
         (_t, _prio, _seq, entry), = sim._heap
         assert not isinstance(entry, Event)
         assert callable(entry)
+
+    def test_all_scheduling_paths_share_one_push(self):
+        # Every public way onto the queue — event scheduling, timeouts,
+        # call_later, call_at — funnels through Simulator._push, so the
+        # (time, priority, seq) entry construction exists exactly once.
+        sim = Simulator()
+        pushed = []
+        original = sim._push
+        sim._push = lambda *a: (pushed.append(a), original(*a))[1]
+        sim.schedule_callback(1.0, lambda: None)
+        sim.timeout(2.0)
+        sim.call_later(3.0, lambda: None)
+        sim.call_at(4.0, lambda: None)
+        assert [p[0] for p in pushed] == [1.0, 2.0, 3.0, 4.0]
+        assert sim.queue_depth == 4
+        sim.run()
+        assert sim.now == 4.0
+
+    def test_push_assigns_monotonic_seq(self):
+        sim = Simulator()
+        for delay in (5.0, 1.0, 3.0):
+            sim.call_later(delay, lambda: None)
+        seqs = sorted(seq for _t, _p, seq, _e in sim._heap)
+        assert seqs == [1, 2, 3]
+
+
+class TestSchedulerSelection:
+    """The pluggable event queue behind the Simulator (REPRO_SCHEDULER)."""
+
+    def test_default_is_calendar(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCHEDULER", raising=False)
+        sim = Simulator()
+        assert sim.scheduler == "calendar"
+        assert isinstance(sim._sched, CalendarScheduler)
+
+    def test_explicit_argument(self):
+        assert isinstance(Simulator(scheduler="heap")._sched, HeapScheduler)
+        assert isinstance(Simulator(scheduler="calendar")._sched,
+                          CalendarScheduler)
+
+    def test_env_fallback_and_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCHEDULER", "heap")
+        assert Simulator().scheduler == "heap"
+        assert Simulator(scheduler="calendar").scheduler == "calendar"
+
+    def test_invalid_scheduler_raises(self):
+        with pytest.raises(SimulationError):
+            Simulator(scheduler="fifo")
+
+    def test_scheduler_stats_exposed(self):
+        sim = Simulator(scheduler="calendar")
+        sim.timeout(1.0)
+        stats = sim.scheduler_stats
+        assert stats["scheduler"] == "calendar"
+        assert stats["pending"] == 1
+
+    @pytest.mark.parametrize("scheduler", ["heap", "calendar"])
+    def test_behaviour_parity(self, scheduler):
+        # The full ordering contract — time, then priority, then FIFO —
+        # holds identically under both queue implementations.
+        sim = Simulator(scheduler=scheduler)
+        seen = []
+        sim.schedule_callback(2.0, lambda: seen.append("t2"))
+        sim.call_later(1.0, lambda: seen.append("late"),
+                       priority=PRIORITY_LATE)
+        sim.call_later(1.0, lambda: seen.append("urgent"),
+                       priority=PRIORITY_URGENT)
+        sim.call_later(1.0, lambda: seen.append("normal-a"))
+        sim.call_later(1.0, lambda: seen.append("normal-b"))
+        sim.run()
+        assert seen == ["urgent", "normal-a", "normal-b", "late", "t2"]
+        assert sim.now == 2.0

@@ -4,9 +4,10 @@
 implementation of progressive-filling max-min fairness with per-flow
 rate caps — the textbook algorithm, no numpy, no equivalence classes.
 The property suite asserts that ``FlowNetwork._maxmin_rates`` (which
-dispatches between a per-flow solve and a flow-class solve) matches it
-at ``fairness_slack=0`` on randomized flow sets, and that the standard
-max-min invariants hold: capacity conservation, per-flow caps
+dispatches between a per-flow solve, a flow-class solve, and the
+compiled kernel) matches it at ``fairness_slack=0`` on randomized flow
+sets — parametrized over both solvers and both kernels — and that the
+standard max-min invariants hold: capacity conservation, per-flow caps
 respected, and work conservation (every flow is limited by its cap or
 by a saturated resource).
 """
@@ -17,9 +18,15 @@ import numpy as np
 import pytest
 
 from repro.des import FlowNetwork, Simulator
+from repro.des.kernels import kernel_status
 
 #: Mirrors the freeze-batch epsilon in ``FlowNetwork._maxmin_rates``.
 _BATCH = 1.0 + 1e-12
+
+KERNELS = ["python",
+           pytest.param("compiled", marks=pytest.mark.skipif(
+               kernel_status() == "unavailable",
+               reason="no C compiler and no numba"))]
 
 
 def reference_maxmin(flows, capacities):
@@ -58,11 +65,11 @@ def reference_maxmin(flows, capacities):
     return [max(r, 1e-12) for r in rates]
 
 
-def solver_rates(flows, capacities, solver="component"):
+def solver_rates(flows, capacities, solver="component", kernel="python"):
     """Feed the same flow set through FlowNetwork and read back the
     rates it assigns after the first recompute."""
     sim = Simulator()
-    net = FlowNetwork(sim, solver=solver)
+    net = FlowNetwork(sim, solver=solver, kernel=kernel)
     links = [net.add_capacity(f"r{i}", c) for i, c in enumerate(capacities)]
     for resources, cap in flows:
         net.transfer([links[r] for r in resources], 1e9, rate_cap=cap)
@@ -95,15 +102,16 @@ def random_flow_set(rng, allow_duplicates):
     return flows, capacities
 
 
+@pytest.mark.parametrize("kernel", KERNELS)
 @pytest.mark.parametrize("solver", ["component", "global"])
 @pytest.mark.parametrize("seed", range(20))
 @pytest.mark.parametrize("allow_duplicates", [False, True],
                          ids=["distinct", "duplicated"])
-def test_solver_matches_reference(seed, allow_duplicates, solver):
+def test_solver_matches_reference(seed, allow_duplicates, solver, kernel):
     rng = np.random.default_rng(1000 + seed)
     flows, capacities = random_flow_set(rng, allow_duplicates)
     expected = reference_maxmin(flows, capacities)
-    got = solver_rates(flows, capacities, solver=solver)
+    got = solver_rates(flows, capacities, solver=solver, kernel=kernel)
     assert len(got) == len(expected)
     np.testing.assert_allclose(got, expected, rtol=1e-9, atol=1e-9)
 
