@@ -46,8 +46,13 @@ class Core:
         """Event: run pure computation for ``seconds``, with OS noise applied.
 
         The returned event fires when the (noise-dilated) compute phase ends.
+        A fault-injected straggler slowdown on the node applies to blocks
+        that *start* inside the fault window (an approximation: blocks
+        spanning a window edge are not re-split).
         """
         dilated = self.node.machine.noise.dilate(self, seconds, stream_name)
+        if self.node.slowdown != 1.0:
+            dilated *= self.node.slowdown
         return self.node.machine.sim.timeout(dilated)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -72,6 +77,10 @@ class SMPNode:
             f"node{index}.nic_tx", nic_bandwidth)
         self.nic_rx: LinkCapacity = network.add_capacity(
             f"node{index}.nic_rx", nic_bandwidth)
+        #: Fault-injection compute slowdown (>= 1; straggler windows,
+        #: :mod:`repro.faults`). The healthy value 1.0 is branch-guarded
+        #: in :meth:`Core.compute`, so un-faulted runs are unchanged.
+        self.slowdown = 1.0
 
     def memcpy(self, nbytes: float, rate_cap: float = math.inf,
                label: str = "memcpy") -> Flow:

@@ -92,6 +92,16 @@ class DedicatedCoreServer:
         self._free_waiters: List[Event] = []
         self._busy_accumulator: Dict[int, float] = {}
         self.running = False
+        #: Iterations whose persist is in flight right now. Fault
+        #: injection consults this: a crash must not double-free blocks
+        #: of an iteration mid-persist, and a failover replay must not
+        #: re-persist one.
+        self.persisting: set = set()
+        #: Failover crash state: while True the server process is dead —
+        #: end-of-iteration signals are consumed without persisting
+        #: anything (the data stays buffered in the surviving shm
+        #: segment) until the restarted server replays it.
+        self.suspended = False
 
     @property
     def trace_actor(self) -> str:
@@ -157,9 +167,25 @@ class DedicatedCoreServer:
 
     def persist_iteration(self, iteration: int):
         """Process: write the iteration's variables as one per-node file."""
-        entries = self.store.iteration_entries(iteration)
-        if not entries:
+        if self.suspended:
+            # Crashed (failover semantics): the signal is lost with the
+            # process image, but the data stays buffered in shm for the
+            # restarted server to replay.
             return
+        entries = self.store.iteration_entries(iteration)
+        if not entries or iteration in self.persisting:
+            # Nothing buffered, or another persist of the same iteration
+            # is already in flight (a failover replay racing the
+            # client's own end-of-iteration signal) — writing the
+            # per-node file twice would double-charge the storage path.
+            return
+        self.persisting.add(iteration)
+        try:
+            yield from self._persist_iteration(iteration, entries)
+        finally:
+            self.persisting.discard(iteration)
+
+    def _persist_iteration(self, iteration: int, entries):
         phase_start = self.machine.sim.now
         if self.scheduler is not None:
             self.scheduler.observe_phase_start(phase_start)
@@ -207,6 +233,42 @@ class DedicatedCoreServer:
             self.machine.sim.now, busy)
         monitor.counter("damaris.bytes_raw").add(raw)
         monitor.counter("damaris.bytes_out").add(out)
+
+    def drop_buffered(self):
+        """Crash semantics: discard buffered-but-unpersisted iterations.
+
+        Iterations whose persist is already in flight are left alone —
+        their flows stall on the crashed NIC and complete after
+        recovery; everything else is lost with the process image.
+        Returns ``(iterations dropped, bytes dropped)`` so the injector
+        can account data loss.
+        """
+        dropped_iters = 0
+        dropped_bytes = 0.0
+        for iteration in list(self.store.iterations()):
+            if iteration in self.persisting:
+                continue
+            dropped_iters += 1
+            for entry in self.store.pop_iteration(iteration):
+                dropped_bytes += entry.nbytes
+                self.segment.free(entry.block, client=entry.local_client)
+        if dropped_iters:
+            waiters, self._free_waiters = self._free_waiters, []
+            for waiter in waiters:
+                waiter.succeed()
+        return dropped_iters, dropped_bytes
+
+    def replayable_iterations(self):
+        """Buffered iterations a failover restart must re-persist.
+
+        The named shm segment survives a dedicated-core crash, so
+        everything buffered (including writes that landed during the
+        outage) is recoverable; iterations already mid-persist are
+        excluded — their flows merely stalled on the dead NIC and
+        finish on their own after recovery.
+        """
+        return sorted(iteration for iteration in self.store.iterations()
+                      if iteration not in self.persisting)
 
     def release_iteration(self, iteration: int) -> None:
         """Free the iteration's shared-memory blocks and wake any client

@@ -20,9 +20,14 @@ from repro.errors import SimulationError
 from repro.des.sched import CalendarScheduler, make_scheduler
 from repro.observe.tracer import NULL_TRACER
 
-__all__ = ["Event", "Simulator", "Timeout", "PRIORITY_URGENT",
-           "PRIORITY_NORMAL", "PRIORITY_LATE"]
+__all__ = ["Event", "Simulator", "Timeout", "PRIORITY_FAULT",
+           "PRIORITY_URGENT", "PRIORITY_NORMAL", "PRIORITY_LATE"]
 
+#: Scheduling priority for fault-injection state mutations
+#: (:mod:`repro.faults`): a fault that strikes at time *t* must mutate
+#: capacities/slowdowns before any same-time urgent or normal event
+#: observes them.
+PRIORITY_FAULT = -1
 #: Scheduling priority for events that must run before same-time normal events
 #: (used e.g. to batch flow arrivals before the bandwidth recomputation).
 PRIORITY_URGENT = 0

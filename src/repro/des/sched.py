@@ -23,6 +23,16 @@ the first non-empty bucket *is* the global minimum. Event traces are
 therefore bit-identical across schedulers (asserted by
 ``tests/test_kernel_equivalence.py``), and the scheduler choice is
 folded into sweep-cache keys purely as a guard.
+
+Scheduling into the past is a bug in the caller, and the calendar
+queue's bucket-0 clamp used to accept it silently (window times before
+``win_start`` all collapse into the first bucket). Both schedulers now
+keep a *pop watermark* — the time of the last popped entry — and
+``push`` raises :class:`~repro.errors.SimulationError` for any time
+strictly below it, mirroring the simulator's own past-scheduling guard
+on ``call_at``/``schedule_callback_at``. Pushing *at* the watermark
+stays legal: triggering an urgent event at the current timestamp is
+ordinary DES usage.
 """
 
 from __future__ import annotations
@@ -65,22 +75,36 @@ def resolve_scheduler(scheduler: Optional[str]) -> str:
     return scheduler
 
 
+def _past_push_error(time: float, watermark: float) -> SimulationError:
+    """A push strictly before the last popped time (caller bug)."""
+    return SimulationError(
+        f"cannot schedule into the past (time={time}, last popped "
+        f"time={watermark})")
+
+
 class HeapScheduler:
     """The classic binary heap of ``(time, priority, seq, entry)``."""
 
     name = SCHED_HEAP
 
-    __slots__ = ("_heap",)
+    __slots__ = ("_heap", "_watermark")
 
     def __init__(self) -> None:
         self._heap: List[_Entry] = []
+        self._watermark = -math.inf
 
     def push(self, time: float, priority: int, seq: int,
              entry: Any) -> None:
+        # Inline comparison: this is the hot loop, a call per push costs
+        # measurable wall time (the bench gates it).
+        if time < self._watermark:
+            raise _past_push_error(time, self._watermark)
         heapq.heappush(self._heap, (time, priority, seq, entry))
 
     def pop(self) -> _Entry:
-        return heapq.heappop(self._heap)
+        item = heapq.heappop(self._heap)
+        self._watermark = item[0]
+        return item
 
     def peek_time(self) -> float:
         heap = self._heap
@@ -103,8 +127,10 @@ class CalendarScheduler:
 
     Entries with ``time < win_end`` live in ``nbuckets`` sorted lists
     covering ``[win_start, win_end)`` in equal ``width`` slices (times
-    before ``win_start`` clamp into bucket 0 — the simulator never
-    schedules into the past, but the structure tolerates it). Entries at
+    before ``win_start`` but at or after the pop watermark clamp into
+    bucket 0, which keeps the first-non-empty-bucket-head-is-minimum
+    property because clamped times sort before everything else there;
+    times before the watermark are rejected outright). Entries at
     or beyond ``win_end`` — including ``inf`` sentinels — wait in a
     binary far-heap. Popping scans forward from the current bucket
     cursor; when the window is empty the queue either pops straight from
@@ -128,8 +154,8 @@ class CalendarScheduler:
     WIDTH_SAMPLE = 64
 
     __slots__ = ("_buckets", "_far", "_cur", "_nbucketed", "_win_start",
-                 "_win_end", "_width", "resizes", "migrations",
-                 "max_pending", "on_resize")
+                 "_win_end", "_width", "_watermark", "resizes",
+                 "migrations", "max_pending", "on_resize")
 
     def __init__(self) -> None:
         self._buckets: List[List[_Entry]] = [
@@ -140,6 +166,7 @@ class CalendarScheduler:
         self._win_start = 0.0
         self._width = 1.0
         self._win_end = self.MIN_BUCKETS * 1.0
+        self._watermark = -math.inf
         self.resizes = 0
         self.migrations = 0
         self.max_pending = 0
@@ -149,6 +176,8 @@ class CalendarScheduler:
 
     def push(self, time: float, priority: int, seq: int,
              entry: Any) -> None:
+        if time < self._watermark:
+            raise _past_push_error(time, self._watermark)
         item = (time, priority, seq, entry)
         if time >= self._win_end:
             heapq.heappush(self._far, item)
@@ -178,10 +207,14 @@ class CalendarScheduler:
             if not math.isfinite(far[0][0]):
                 # inf (or nan-free non-finite) sentinels never enter the
                 # window; serve them heap-style.
-                return heapq.heappop(far)
+                item = heapq.heappop(far)
+                self._watermark = item[0]
+                return item
             self._advance_window()
             if self._nbucketed == 0:  # pragma: no cover - defensive
-                return heapq.heappop(far)
+                item = heapq.heappop(far)
+                self._watermark = item[0]
+                return item
         buckets = self._buckets
         cur = self._cur
         last = len(buckets) - 1
@@ -189,7 +222,9 @@ class CalendarScheduler:
             cur += 1
         self._cur = cur
         self._nbucketed -= 1
-        return buckets[cur].pop(0)
+        item = buckets[cur].pop(0)
+        self._watermark = item[0]
+        return item
 
     def peek_time(self) -> float:
         if self._nbucketed:

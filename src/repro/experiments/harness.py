@@ -79,6 +79,10 @@ class ExperimentResult:
     dedicated_windows: List[float] = field(default_factory=list)
     spare_fraction: Optional[float] = None
     files_created: int = 0
+    #: Per-fault outcome records when a fault schedule was injected
+    #: (plain dicts — see :meth:`repro.faults.FaultRecord.to_dict` — so
+    #: results stay picklable/cacheable without importing repro.faults).
+    fault_records: List[Dict] = field(default_factory=list)
 
     # -- write phase (Fig. 2 / Fig. 3) ---------------------------------- #
     @property
@@ -124,6 +128,25 @@ class ExperimentResult:
             return 0.0
         return sum(p.duration for p in self.phases) / self.run_time
 
+    # -- fault degradation (repro.faults) -------------------------------- #
+    @property
+    def data_loss_bytes(self) -> float:
+        """User bytes destroyed by injected faults."""
+        return float(sum(r["data_loss_bytes"] for r in self.fault_records))
+
+    @property
+    def mean_recovery_time(self) -> float:
+        """Mean injection-to-fully-recovered time over injected faults."""
+        times = [r["recovery_time"] for r in self.fault_records
+                 if r["recovery_time"] is not None]
+        return float(np.mean(times)) if times else 0.0
+
+    @property
+    def max_recovery_time(self) -> float:
+        times = [r["recovery_time"] for r in self.fault_records
+                 if r["recovery_time"] is not None]
+        return float(np.max(times)) if times else 0.0
+
 
 def run_experiment(machine: Machine, fs: ParallelFileSystem,
                    workload: CM1Workload, strategy: IOStrategy,
@@ -131,14 +154,22 @@ def run_experiment(machine: Machine, fs: ParallelFileSystem,
                    compression: Optional[CompressionModel] = None,
                    hdf5: Optional[HDF5CostModel] = None,
                    compute_blocks_per_phase: int = 1,
-                   tracer: Optional[Tracer] = None) -> ExperimentResult:
+                   tracer: Optional[Tracer] = None,
+                   faults=None) -> ExperimentResult:
     """Run ``write_phases`` output cycles of the workload under
     ``strategy`` and return the measurements.
 
     Passing a ``tracer`` attaches it to the machine's simulator clock:
     every instrumented layer (clients, servers, storage, locks) records
     into it, and the harness itself adds one ``write_phase`` span per
-    (rank, phase)."""
+    (rank, phase).
+
+    ``faults`` is an optional :class:`repro.faults.FaultSchedule`: it is
+    armed against the machine before any rank starts, its recoveries
+    join the drain phase, and its per-fault records land on
+    ``ExperimentResult.fault_records``. ``None`` (or an empty schedule)
+    leaves the run bit-identical to a harness without the parameter —
+    no event is scheduled and no sequence number is consumed."""
     if write_phases < 1:
         raise ReproError("need at least one write phase")
     if tracer is not None:
@@ -159,6 +190,12 @@ def run_experiment(machine: Machine, fs: ParallelFileSystem,
         dilation=dilation, compression=compression,
         hdf5=hdf5 if hdf5 is not None else HDF5CostModel())
     strategy.setup(ctx)
+
+    injector = None
+    if faults is not None and len(faults):
+        from repro.faults import FaultInjector
+        injector = FaultInjector(faults)
+        injector.arm(ctx, strategy)
 
     nranks = comm.size
     rank_times = np.zeros((write_phases, nranks), dtype=float)
@@ -196,9 +233,13 @@ def run_experiment(machine: Machine, fs: ParallelFileSystem,
     machine.sim.run_until_complete(AllOf(machine.sim, processes))
     run_time = machine.sim.now
 
-    drains = strategy.drain_events(ctx)
+    drains = list(strategy.drain_events(ctx))
+    if injector is not None:
+        # Recoveries (and failover replays) scheduled beyond the
+        # application's natural end still have to be processed.
+        drains.append(injector.done)
     if drains:
-        machine.sim.run_until_complete(AllOf(machine.sim, list(drains)))
+        machine.sim.run_until_complete(AllOf(machine.sim, drains))
     drain_time = machine.sim.now
     strategy.finalize(ctx)
 
@@ -219,6 +260,9 @@ def run_experiment(machine: Machine, fs: ParallelFileSystem,
         bytes_per_phase=float(workload.total_bytes(nranks, dilation)),
         files_created=fs.files_created,
     )
+    if injector is not None:
+        result.fault_records = [record.to_dict()
+                                for record in injector.records]
 
     deployment = ctx.state.get("deployment")
     if deployment is not None:

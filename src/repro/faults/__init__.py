@@ -1,0 +1,29 @@
+"""Declarative fault injection for the DES cluster/storage models.
+
+The paper shows a dedicated core *hides* I/O jitter; this subsystem asks
+how each strategy *survives* faults. A :class:`FaultSchedule` (typed
+specs: node crash+restart, straggler slowdown, NIC degradation, OST and
+metadata-server brownouts, lock-revocation storms, correlated failures)
+compiles — via :class:`FaultInjector` — into simulator events that
+mutate model state at the scheduled times, with matching recovery
+events, ``fault``-category trace output, and per-fault recovery-time /
+data-loss records for the strategy-degradation figures.
+"""
+
+from repro.faults.injector import CRASH_BANDWIDTH, FaultInjector, FaultRecord
+from repro.faults.schedule import (
+    FAULT_KINDS,
+    FaultSchedule,
+    FaultScheduleError,
+    FaultSpec,
+)
+
+__all__ = [
+    "CRASH_BANDWIDTH",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultRecord",
+    "FaultSchedule",
+    "FaultScheduleError",
+    "FaultSpec",
+]

@@ -1,0 +1,353 @@
+"""Compile a :class:`~repro.faults.schedule.FaultSchedule` into sim events.
+
+The injector is armed once per experiment, after the strategy's
+``setup`` and before any rank process starts. For every fault it
+schedules an *injection* callback at the fault's start and a matching
+*recovery* callback at its end, both at
+:data:`~repro.des.core.PRIORITY_FAULT` so state mutations land before
+any same-timestamp model event observes them. Injections mutate exactly
+the knobs the models expose for this purpose (``StorageTarget.
+set_fault_factor``, ``MetadataServer.slowdown``, ``SMPNode.slowdown``,
+``ExtentLockManager.storm_revokes``, NIC ``set_capacity``); recoveries
+restore the saved healthy values exactly, so post-window behaviour is
+bit-identical to a never-faulted run from the same state.
+
+Node crashes additionally notify the strategy through
+:meth:`~repro.strategies.base.IOStrategy.on_fault` (which reports crash
+data loss) and :meth:`~repro.strategies.base.IOStrategy.on_recover`
+(which may return replay events — the dedicated-core failover variant
+re-persists the surviving shm buffer); a fault only counts *recovered*
+once those events complete, which is what the recovery-time metric
+measures.
+
+Zero-overhead contract: with no schedule the injector is never
+constructed, no callback is scheduled, and no sequence number is
+consumed — a fault-free run is bit-identical to one produced before
+this module existed (gated by ``bench_des_kernel.py --check``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import partial
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from repro.des.core import Event, PRIORITY_FAULT
+from repro.des.process import AllOf
+from repro.faults.schedule import FaultSchedule, FaultScheduleError, FaultSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.strategies.base import IOStrategy, StrategyContext
+
+__all__ = ["FaultRecord", "FaultInjector", "CRASH_BANDWIDTH"]
+
+#: Residual NIC bandwidth of a crashed node, bytes/s. The flow network
+#: requires strictly positive capacities; 1 B/s stalls in-flight
+#: transfers for the outage (they resume at full rate on recovery)
+#: instead of tearing them down, which is how a peer experiences a
+#: crashed-and-rebooted node.
+CRASH_BANDWIDTH = 1.0
+
+
+@dataclass
+class FaultRecord:
+    """What one injected fault did, for the degradation metrics."""
+
+    kind: str
+    label: str
+    #: Injection time of this fault (per node for correlated crashes).
+    time: float
+    #: Scheduled end of the outage window.
+    window_end: float
+    #: Entity names hit (``node3``, ``lustre.t17``, ...).
+    affected: Tuple[str, ...] = ()
+    #: Bytes of buffered user data lost to the fault.
+    data_loss_bytes: float = 0.0
+    #: Buffered iterations dropped (Damaris crash semantics).
+    iterations_lost: int = 0
+    #: Iterations a failover restart re-persisted.
+    iterations_replayed: int = 0
+    #: When the fault finished recovering (window end, or replay
+    #: completion for failover crashes). None until then.
+    recovered_at: Optional[float] = None
+
+    @property
+    def recovery_time(self) -> Optional[float]:
+        """Injection-to-fully-recovered, the degradation-curve metric."""
+        if self.recovered_at is None:
+            return None
+        return self.recovered_at - self.time
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "label": self.label,
+            "time": self.time,
+            "window_end": self.window_end,
+            "affected": list(self.affected),
+            "data_loss_bytes": self.data_loss_bytes,
+            "iterations_lost": self.iterations_lost,
+            "iterations_replayed": self.iterations_replayed,
+            "recovered_at": self.recovered_at,
+            "recovery_time": self.recovery_time,
+        }
+
+
+class FaultInjector:
+    """Arms a schedule against one experiment's machine + strategy."""
+
+    def __init__(self, schedule: FaultSchedule) -> None:
+        self.schedule = schedule
+        self.records: List[FaultRecord] = []
+        self.done: Optional[Event] = None
+        self._outstanding = 0
+        self._saved_nic: Dict[int, Tuple[float, float]] = {}
+
+    # ------------------------------------------------------------------ #
+    # arming
+    # ------------------------------------------------------------------ #
+    def arm(self, ctx: "StrategyContext",
+            strategy: "IOStrategy") -> Event:
+        """Schedule every fault; returns the all-recovered event.
+
+        Must be called before the simulation starts (all fault times
+        are absolute and must not be in the simulator's past).
+        """
+        sim = ctx.machine.sim
+        if self.done is not None:
+            raise FaultScheduleError("injector already armed")
+        self.done = Event(sim)
+        for fault in self.schedule:
+            self._validate(ctx, fault)
+            if fault.kind in ("node_crash", "correlated_crash"):
+                stagger = (fault.stagger
+                           if fault.kind == "correlated_crash" else 0.0)
+                for k, node_index in enumerate(fault.nodes):
+                    start = fault.time + k * stagger
+                    record = self._record(
+                        fault, start, start + fault.duration,
+                        (f"node{node_index}",))
+                    sim.call_at(start, partial(
+                        self._crash, ctx, strategy, fault, node_index,
+                        record), priority=PRIORITY_FAULT)
+                    sim.call_at(start + fault.duration, partial(
+                        self._restore_crash, ctx, strategy, fault,
+                        node_index, record), priority=PRIORITY_FAULT)
+            else:
+                inject, restore, affected = self._window_handlers(
+                    ctx, fault)
+                record = self._record(fault, fault.time,
+                                      fault.time + fault.duration,
+                                      affected)
+                sim.call_at(fault.time,
+                            partial(self._inject_window, ctx, fault,
+                                    record, inject),
+                            priority=PRIORITY_FAULT)
+                sim.call_at(fault.time + fault.duration,
+                            partial(self._restore_window, ctx, fault,
+                                    record, restore),
+                            priority=PRIORITY_FAULT)
+        if self._outstanding == 0:
+            self.done.succeed()
+        return self.done
+
+    def _record(self, fault: FaultSpec, start: float, end: float,
+                affected: Tuple[str, ...]) -> FaultRecord:
+        record = FaultRecord(kind=fault.kind, label=fault.display,
+                             time=start, window_end=end,
+                             affected=affected)
+        self.records.append(record)
+        self._outstanding += 1
+        return record
+
+    def _validate(self, ctx: "StrategyContext",
+                  fault: FaultSpec) -> None:
+        nnodes = len(ctx.machine.nodes)
+        for node in fault.nodes:
+            if not 0 <= node < nnodes:
+                raise FaultScheduleError(
+                    f"{fault.display}: node {node} does not exist "
+                    f"(machine has {nnodes})")
+        if fault.kind in ("ost_brownout",):
+            limit = len(ctx.fs.targets)
+        elif fault.kind in ("mds_brownout",):
+            limit = len(ctx.fs.metadata_servers)
+        else:
+            return
+        for target in fault.targets:
+            if not 0 <= target < limit:
+                raise FaultScheduleError(
+                    f"{fault.display}: target {target} does not exist "
+                    f"({limit} available)")
+
+    # ------------------------------------------------------------------ #
+    # node crashes
+    # ------------------------------------------------------------------ #
+    def _crash(self, ctx: "StrategyContext", strategy: "IOStrategy",
+               fault: FaultSpec, node_index: int,
+               record: FaultRecord) -> None:
+        node = ctx.machine.nodes[node_index]
+        self._saved_nic[id(record)] = (node.nic_tx.capacity,
+                                       node.nic_rx.capacity)
+        node.nic_tx.set_capacity(CRASH_BANDWIDTH)
+        node.nic_rx.set_capacity(CRASH_BANDWIDTH)
+        if fault.compute_factor != 1.0:
+            node.slowdown = fault.compute_factor
+        iters, nbytes = strategy.on_fault(ctx, fault, node)
+        record.iterations_lost += iters
+        record.data_loss_bytes += nbytes
+        self._trace_inject(ctx, fault, record)
+
+    def _restore_crash(self, ctx: "StrategyContext",
+                       strategy: "IOStrategy", fault: FaultSpec,
+                       node_index: int, record: FaultRecord) -> None:
+        node = ctx.machine.nodes[node_index]
+        tx, rx = self._saved_nic.pop(id(record))
+        node.nic_tx.set_capacity(tx)
+        node.nic_rx.set_capacity(rx)
+        node.slowdown = 1.0
+        replays = list(strategy.on_recover(ctx, fault, node))
+        record.iterations_replayed += len(replays)
+        if replays:
+            sim = ctx.machine.sim
+            AllOf(sim, replays).callbacks.append(
+                lambda _evt: self._complete(ctx, fault, record))
+        else:
+            self._complete(ctx, fault, record)
+
+    # ------------------------------------------------------------------ #
+    # window faults (degrade at start, restore exactly at end)
+    # ------------------------------------------------------------------ #
+    def _window_handlers(self, ctx: "StrategyContext",
+                         fault: FaultSpec):
+        """Build (inject, restore, affected-names) for a window fault."""
+        machine = ctx.machine
+        fs = ctx.fs
+        if fault.kind == "straggler":
+            nodes = [machine.nodes[i] for i in fault.nodes] \
+                if fault.nodes else list(machine.nodes)
+
+            def inject() -> None:
+                for node in nodes:
+                    node.slowdown = fault.factor
+
+            def restore() -> None:
+                for node in nodes:
+                    node.slowdown = 1.0
+
+            return inject, restore, tuple(
+                f"node{node.index}" for node in nodes)
+
+        if fault.kind == "nic_degrade":
+            nodes = [machine.nodes[i] for i in fault.nodes] \
+                if fault.nodes else list(machine.nodes)
+            saved: List[Tuple[float, float]] = []
+
+            def inject() -> None:
+                saved.clear()
+                for node in nodes:
+                    saved.append((node.nic_tx.capacity,
+                                  node.nic_rx.capacity))
+                    node.nic_tx.set_capacity(
+                        max(node.nic_tx.capacity * fault.factor, 1.0))
+                    node.nic_rx.set_capacity(
+                        max(node.nic_rx.capacity * fault.factor, 1.0))
+
+            def restore() -> None:
+                for node, (tx, rx) in zip(nodes, saved):
+                    node.nic_tx.set_capacity(tx)
+                    node.nic_rx.set_capacity(rx)
+
+            return inject, restore, tuple(
+                f"node{node.index}" for node in nodes)
+
+        if fault.kind == "ost_brownout":
+            targets = [fs.targets[i] for i in fault.targets] \
+                if fault.targets else list(fs.targets)
+
+            def inject() -> None:
+                for target in targets:
+                    target.set_fault_factor(fault.factor)
+
+            def restore() -> None:
+                for target in targets:
+                    target.set_fault_factor(1.0)
+
+            return inject, restore, tuple(t.name for t in targets)
+
+        if fault.kind == "mds_brownout":
+            servers = [fs.metadata_servers[i] for i in fault.targets] \
+                if fault.targets else list(fs.metadata_servers)
+
+            def inject() -> None:
+                for server in servers:
+                    server.slowdown = fault.factor
+
+            def restore() -> None:
+                for server in servers:
+                    server.slowdown = 1.0
+
+            return inject, restore, tuple(s.name for s in servers)
+
+        if fault.kind == "lock_storm":
+            locks = fs.locks
+
+            def inject() -> None:
+                if locks is not None:
+                    locks.storm_revokes += fault.extra_revokes
+
+            def restore() -> None:
+                if locks is not None:
+                    locks.storm_revokes -= fault.extra_revokes
+
+            affected = ("locks",) if locks is not None else ()
+            return inject, restore, affected
+
+        raise FaultScheduleError(  # pragma: no cover - schedule validates
+            f"unhandled fault kind {fault.kind!r}")
+
+    def _inject_window(self, ctx: "StrategyContext", fault: FaultSpec,
+                       record: FaultRecord, inject) -> None:
+        inject()
+        self._trace_inject(ctx, fault, record)
+
+    def _restore_window(self, ctx: "StrategyContext", fault: FaultSpec,
+                        record: FaultRecord, restore) -> None:
+        restore()
+        self._complete(ctx, fault, record)
+
+    # ------------------------------------------------------------------ #
+    # completion + tracing
+    # ------------------------------------------------------------------ #
+    def _complete(self, ctx: "StrategyContext", fault: FaultSpec,
+                  record: FaultRecord) -> None:
+        sim = ctx.machine.sim
+        record.recovered_at = sim.now
+        tracer = sim.tracer
+        if tracer.enabled:
+            tracer.record_event(
+                "fault", f"{fault.kind}:recover", "faults",
+                time=sim.now, label=record.label,
+                affected=list(record.affected),
+                recovery_time=record.recovery_time,
+                data_loss_bytes=record.data_loss_bytes,
+                iterations_replayed=record.iterations_replayed)
+            tracer.record_span(
+                "fault", record.label, "faults", record.time, sim.now,
+                kind=fault.kind, affected=list(record.affected),
+                data_loss_bytes=record.data_loss_bytes)
+        self._outstanding -= 1
+        if self._outstanding == 0:
+            self.done.succeed()
+
+    def _trace_inject(self, ctx: "StrategyContext", fault: FaultSpec,
+                      record: FaultRecord) -> None:
+        tracer = ctx.machine.sim.tracer
+        if tracer.enabled:
+            tracer.record_event(
+                "fault", f"{fault.kind}:inject", "faults",
+                time=ctx.machine.sim.now, label=record.label,
+                affected=list(record.affected), factor=fault.factor,
+                duration=fault.duration,
+                data_loss_bytes=record.data_loss_bytes,
+                iterations_lost=record.iterations_lost)

@@ -50,6 +50,7 @@ SPAN_CATEGORIES = frozenset({
     "net_transfer",  # one data segment moving to a storage target
     "fs_write",      # one file-system write request (all its segments)
     "shm_stall",     # client blocked on a full shared buffer
+    "fault",         # one injected fault's outage window
 })
 
 #: Instant categories (things that happen at a point in time).
@@ -60,6 +61,7 @@ EVENT_CATEGORIES = frozenset({
     "solver",        # bandwidth-solver counters after one recomputation
     "sched",         # event-scheduler resize (calendar-queue window move)
     "error",         # a recoverable anomaly (e.g. server poll timeout)
+    "fault",         # fault injection/recovery instants (repro.faults)
 })
 
 

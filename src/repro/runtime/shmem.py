@@ -41,8 +41,13 @@ class RuntimeBuffer:
         self._freed = threading.Condition(self._lock)
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.trace_actor = trace_actor
+        #: Allocations that had to block at least once (not wakeups —
+        #: spurious condition-variable wakeups must not inflate this).
         self.stalls = 0
+        #: Bytes currently reserved (decremented on :meth:`free`).
         self.bytes_reserved = 0
+        #: Cumulative bytes ever reserved (never decremented).
+        self.bytes_reserved_total = 0
 
     @property
     def allocator_name(self) -> str:
@@ -65,33 +70,49 @@ class RuntimeBuffer:
         deadline = None if timeout is None \
             else time.monotonic() + timeout
         stall_started = None
+        stalled = False
         with self._freed:
             block = self._allocator.allocate(nbytes, client)
             while block is None:
-                self.stalls += 1
-                if stall_started is None and self.tracer.enabled:
-                    stall_started = self.tracer.now()
+                if not stalled:
+                    # One stall per blocked allocation, however many
+                    # times the condition variable wakes us.
+                    stalled = True
+                    self.stalls += 1
+                    if self.tracer.enabled:
+                        stall_started = self.tracer.now()
                 if deadline is None:
                     self._freed.wait()
                 else:
                     remaining = deadline - time.monotonic()
                     if remaining <= 0 \
                             or not self._freed.wait(timeout=remaining):
+                        # The longest stalls are the ones that time out;
+                        # record them before raising so the trace keeps
+                        # its most interesting spans.
+                        if stall_started is not None:
+                            self.tracer.record_span(
+                                "shm_stall", "buffer_full",
+                                self.trace_actor, stall_started,
+                                self.tracer.now(), nbytes=int(nbytes),
+                                client=client, timeout=True)
                         raise ShmAllocationError(
                             f"timed out waiting for {nbytes} B of buffer "
                             f"space (capacity {self.capacity} B)")
                 block = self._allocator.allocate(nbytes, client)
             self.bytes_reserved += nbytes
+            self.bytes_reserved_total += nbytes
         if stall_started is not None:
             self.tracer.record_span(
                 "shm_stall", "buffer_full", self.trace_actor,
                 stall_started, self.tracer.now(),
-                nbytes=int(nbytes), client=client)
+                nbytes=int(nbytes), client=client, timeout=False)
         return block
 
     def free(self, block: Block, client: int = 0) -> None:
         with self._freed:
             self._allocator.free(block, client)
+            self.bytes_reserved -= block.size
             self._freed.notify_all()
 
     # ------------------------------------------------------------------ #

@@ -101,6 +101,11 @@ class StorageTarget:
             if spec.queue_depth > 0 else None)
         #: External capacity modulation (cross-application interference).
         self.interference_factor = 1.0
+        #: Fault-injection capacity modulation (OST brownout windows,
+        #: :mod:`repro.faults`); composes with interference. 1.0 is the
+        #: healthy value and multiplies out exactly (IEEE ×1.0), so an
+        #: un-faulted run is bit-identical to one without the hook.
+        self.fault_factor = 1.0
         self._applied_capacity = spec.peak_bandwidth
         #: Relative capacity change below which updates are skipped (a
         #: ±1-stream wiggle among hundreds must not trigger a global
@@ -143,11 +148,24 @@ class StorageTarget:
         self.interference_factor = factor
         self._update_capacity()
 
-    def _update_capacity(self) -> None:
+    def set_fault_factor(self, factor: float) -> None:
+        """Scale capacity by a fault-injection factor in (0, 1].
+
+        Unlike ordinary load wiggles, a brownout edge must take effect
+        immediately, so the update bypasses ``update_threshold``.
+        """
+        if not 0 < factor <= 1:
+            raise StorageError(f"fault factor must be in (0,1], "
+                               f"got {factor}")
+        self.fault_factor = factor
+        self._update_capacity(force=True)
+
+    def _update_capacity(self, force: bool = False) -> None:
         eff = self.efficiency(len(self._active_objects), self.active_streams)
         capacity = max(
-            self.spec.peak_bandwidth * eff * self.interference_factor, 1.0)
-        if abs(capacity - self._applied_capacity) \
+            self.spec.peak_bandwidth * eff * self.interference_factor
+            * self.fault_factor, 1.0)
+        if not force and abs(capacity - self._applied_capacity) \
                 <= self.update_threshold * self._applied_capacity:
             return
         self._applied_capacity = capacity

@@ -55,6 +55,11 @@ class ExtentLockManager:
         self.revocations = 0
         self.acquisitions = 0
         self.boundary_waits = 0
+        #: Fault injection (:mod:`repro.faults`): while > 0, every
+        #: acquisition behaves as if a competing job holds the locks —
+        #: this many forced revocation round-trips are charged on top of
+        #: the genuine conflicts. 0 (the healthy value) adds nothing.
+        self.storm_revokes = 0
 
     def acquire(self, file_id: int, owner: int,
                 full_stripes: Iterable[int],
@@ -69,7 +74,7 @@ class ExtentLockManager:
         """
         sim = self.machine.sim
         tracer = sim.tracer
-        revokes = 0
+        revokes = self.storm_revokes
         for stripe in full_stripes:
             key = (file_id, stripe)
             self.acquisitions += 1
@@ -125,6 +130,16 @@ class ExtentLockManager:
         may proceed (one revocation round-trip plus the flush)."""
         sim = self.machine.sim
         tracer = sim.tracer
+        if self.storm_revokes and target_bytes:
+            # Revocation storm: a competing job's locks cover every
+            # object this request touches.
+            self.revocations += self.storm_revokes
+            if tracer.enabled:
+                tracer.record_event(
+                    "lock_revoke", f"file{file_id}/storm",
+                    f"locks/file{file_id}", file_id=file_id,
+                    owner=owner, revokes=self.storm_revokes, storm=True)
+            yield sim.timeout(self.revoke_latency * self.storm_revokes)
         for target, nbytes in target_bytes.items():
             key = (file_id, target)
             self.acquisitions += 1

@@ -55,6 +55,10 @@ class MetadataServer:
         self._stream = machine.streams.stream(f"mds.{name}")
         self.ops_served: Dict[str, int] = {}
         self.busy_time = 0.0
+        #: Fault-injection service-time multiplier (>= 1; MDS brownout
+        #: windows, :mod:`repro.faults`). 1.0 multiplies out exactly, so
+        #: un-faulted runs are unchanged.
+        self.slowdown = 1.0
 
     @property
     def queue_length(self) -> int:
@@ -70,7 +74,7 @@ class MetadataServer:
             yield req
             jitter = (float(self._stream.lognormal(0.0, self.spec.sigma))
                       if self.spec.sigma > 0 else 1.0)
-            service = base * jitter
+            service = base * jitter * self.slowdown
             yield sim.timeout(service)
             self.busy_time += service
             self.ops_served[op] = self.ops_served.get(op, 0) + 1

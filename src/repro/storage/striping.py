@@ -100,6 +100,15 @@ class StripeLayout:
             "targets": len(self.split(offset, nbytes)),
         }
 
+    def uses_target(self, target: int) -> bool:
+        """Whether this layout ever places data on ``target``.
+
+        Fault injection uses this for affected-file accounting: an OST
+        brownout or loss only degrades files whose layout includes one
+        of the faulted targets.
+        """
+        return target in self.targets
+
     def stripes_touched(self, offset: int, nbytes: int) -> range:
         """Global stripe numbers covered by the request (for lock managers)."""
         if nbytes <= 0:

@@ -11,11 +11,15 @@ Damaris) the dedicated cores' write/spare time.
 from repro.strategies.base import IOStrategy, StrategyContext
 from repro.strategies.file_per_process import FilePerProcessStrategy
 from repro.strategies.collective import CollectiveIOStrategy
-from repro.strategies.damaris_strategy import DamarisStrategy
+from repro.strategies.damaris_strategy import (
+    DamarisFailoverStrategy,
+    DamarisStrategy,
+)
 from repro.strategies.null import NoIOStrategy
 
 __all__ = [
     "CollectiveIOStrategy",
+    "DamarisFailoverStrategy",
     "DamarisStrategy",
     "FilePerProcessStrategy",
     "IOStrategy",

@@ -76,3 +76,25 @@ class IOStrategy:
         """Events that must complete before the experiment is 'done'
         (e.g. Damaris servers flushing). Default: none."""
         return []
+
+    # -- fault injection (repro.faults) -------------------------------- #
+    def on_fault(self, ctx: StrategyContext, fault, node):
+        """A node this strategy may hold state on just crashed.
+
+        Called by the :class:`~repro.faults.injector.FaultInjector` at
+        the crash instant, after the node's NIC has been cut. Returns
+        ``(iterations lost, bytes lost)`` of buffered user data the
+        crash destroyed. Synchronous strategies hold no buffered state —
+        in-flight writes merely stall on the dead NIC and resume at
+        recovery — so the default loses nothing.
+        """
+        return 0, 0.0
+
+    def on_recover(self, ctx: StrategyContext, fault, node):
+        """The crashed node just came back.
+
+        Returns events the injector must await before the fault counts
+        as recovered (e.g. failover write replay). Default: none — the
+        fault recovers the moment the node's links are restored.
+        """
+        return []

@@ -17,7 +17,7 @@ from repro.core.plugins import PluginRegistry
 from repro.core.server import DamarisOptions
 from repro.strategies.base import IOStrategy, StrategyContext
 
-__all__ = ["DamarisStrategy"]
+__all__ = ["DamarisStrategy", "DamarisFailoverStrategy"]
 
 #: The configured event every client signals at the end of an output step.
 END_EVENT = "end_of_iteration"
@@ -94,3 +94,56 @@ class DamarisStrategy(IOStrategy):
     def drain_events(self, ctx: StrategyContext):
         """The experiment also waits for every server to flush and stop."""
         return list(ctx.state.get("server_processes", []))
+
+    # -- fault injection ----------------------------------------------- #
+    def _servers_on(self, node):
+        if self.deployment is None:
+            return []
+        return [server for server in self.deployment.servers
+                if server.node is node]
+
+    def on_fault(self, ctx: StrategyContext, fault, node):
+        """A crash takes the dedicated core's process image — and with
+        it every buffered-but-unpersisted iteration — down with the
+        node. Iterations already mid-persist survive as stalled flows."""
+        iters = 0
+        nbytes = 0.0
+        for server in self._servers_on(node):
+            dropped_iters, dropped_bytes = server.drop_buffered()
+            iters += dropped_iters
+            nbytes += dropped_bytes
+        return iters, nbytes
+
+
+class DamarisFailoverStrategy(DamarisStrategy):
+    """Dedicated-core failover: the shm buffer survives a crash.
+
+    Models a crash of the dedicated core's *process* while the node's
+    shared-memory segment persists (the Damaris design keeps all client
+    data in a named shm region precisely so a restarted server can
+    re-attach). During the outage the server is *suspended*:
+    end-of-iteration signals die with the process image, so nothing is
+    persisted — but client writes keep landing in the surviving shm
+    buffer. At recovery the restarted server replays every buffered
+    iteration. Recovery takes longer (the replay writes happen after
+    the outage), but the data-loss metric stays at zero.
+    """
+
+    name = "damaris_failover"
+
+    def on_fault(self, ctx: StrategyContext, fault, node):
+        # The shm segment outlives the process image: no loss, but the
+        # server stops persisting until it is restarted.
+        for server in self._servers_on(node):
+            server.suspended = True
+        return 0, 0.0
+
+    def on_recover(self, ctx: StrategyContext, fault, node):
+        sim = ctx.machine.sim
+        replays = []
+        for server in self._servers_on(node):
+            server.suspended = False
+            for iteration in server.replayable_iterations():
+                replays.append(
+                    sim.process(server.persist_iteration(iteration)))
+        return replays

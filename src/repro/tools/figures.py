@@ -13,6 +13,8 @@ Usage::
     python -m repro.tools.figures --solver global fig2   # debug escape hatch
     python -m repro.tools.figures --kernel compiled fig4  # compiled solve
     python -m repro.tools.figures --scheduler heap fig2   # binary-heap queue
+    python -m repro.tools.figures faults                  # fault degradation
+    python -m repro.tools.figures --faults my_schedule.json faults
 
 ``--parallel N`` (or ``REPRO_PARALLEL=N`` in the environment) fans the
 independent sweep configurations of each driver out over ``N`` worker
@@ -50,6 +52,13 @@ extra) at first use. ``--scheduler calendar|heap`` (or
 queue by default; the binary heap is the fallback). Both modes are
 folded into cache keys alongside the solver.
 
+``--faults PATH`` (or ``REPRO_FAULTS=PATH``) points the ``faults``
+driver at a fault-schedule JSON (see ``examples/fault_schedule.json``
+and :mod:`repro.faults`); without it the driver runs the committed
+example schedule. The schedule's contents are embedded in every sweep
+spec, so cached points are keyed by the exact schedule — changing the
+JSON re-runs only the affected points.
+
 Each driver prints the same rows the corresponding bench asserts on and
 that EXPERIMENTS.md documents.
 """
@@ -70,6 +79,7 @@ DRIVERS: Dict[str, Callable] = {
     "fig6": figures.fig6_throughput_kraken,
     "fig7": figures.fig7_spare_strategies,
     "table1": figures.table1_grid5000,
+    "faults": figures.fig_fault_degradation,
     "model": figures.model_breakeven,
 }
 
@@ -145,6 +155,24 @@ def main(argv=None) -> int:
         del argv[at:at + 2]
         # Simulator reads this when each sweep worker builds its machine.
         os.environ["REPRO_SCHEDULER"] = scheduler
+    if "--faults" in argv:
+        at = argv.index("--faults")
+        try:
+            faults_path = argv[at + 1]
+        except IndexError:
+            print("--faults requires a schedule JSON path", file=sys.stderr)
+            return 2
+        if faults_path.startswith("-"):
+            print("--faults requires a schedule JSON path", file=sys.stderr)
+            return 2
+        if not os.path.exists(faults_path):
+            print(f"--faults: no such file: {faults_path}", file=sys.stderr)
+            return 2
+        del argv[at:at + 2]
+        # figures.fig_fault_degradation loads the schedule from here;
+        # the parsed faults land inside each sweep spec, so cache keys
+        # fold the schedule contents automatically.
+        os.environ["REPRO_FAULTS"] = faults_path
     if "--cache-dir" in argv:
         at = argv.index("--cache-dir")
         try:

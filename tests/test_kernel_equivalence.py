@@ -218,9 +218,11 @@ def test_scheduler_pop_order_randomized(scheduler):
     sched = make_scheduler(scheduler)
     items = []
     seq = 0
+    watermark = 0.0  # pushes must stay at/after the last popped time
     for _ in range(2000):
-        t = rng.choice([rng.uniform(0, 1e-6), rng.uniform(0, 100.0),
-                        rng.uniform(1e6, 1e9), math.inf])
+        t = watermark + rng.choice(
+            [rng.uniform(0, 1e-6), rng.uniform(0, 100.0),
+             rng.uniform(1e6, 1e9), math.inf])
         prio = rng.randrange(3)
         seq += 1
         items.append((t, prio, seq))
@@ -228,7 +230,7 @@ def test_scheduler_pop_order_randomized(scheduler):
         # Interleave pops so the window advances mid-stream.
         if rng.random() < 0.3 and len(sched):
             items.remove(min(items))
-            sched.pop()
+            watermark = sched.pop()[0]
     popped = []
     while len(sched):
         t, prio, seq, _entry = sched.pop()
@@ -236,6 +238,32 @@ def test_scheduler_pop_order_randomized(scheduler):
     assert popped == sorted(items)
     with pytest.raises(IndexError):
         sched.pop()
+
+
+@pytest.mark.parametrize("scheduler", ["heap", "calendar"])
+def test_schedule_into_past_raises(scheduler):
+    """Regression: the calendar queue used to clamp a push earlier than
+    the last popped time into bucket 0 and silently pop it out of order.
+    Both schedulers now reject such pushes identically."""
+    sched = make_scheduler(scheduler)
+    sched.push(10.0, 1, 0, "a")
+    sched.push(20.0, 1, 1, "b")
+    assert sched.pop()[0] == 10.0
+    with pytest.raises(SimulationError):
+        sched.push(5.0, 1, 2, "too late")
+    # Pushing AT the watermark stays legal (same-timestamp callbacks).
+    sched.push(10.0, 0, 3, "same instant")
+    assert [sched.pop()[2] for _ in range(2)] == [3, 1]
+
+
+@pytest.mark.parametrize("scheduler", ["heap", "calendar"])
+def test_simulator_call_at_past_raises(scheduler):
+    sim = Simulator(scheduler=scheduler)
+    sim.timeout(10.0)
+    sim.run()
+    assert sim.now == 10.0
+    with pytest.raises(SimulationError):
+        sim.call_at(5.0, lambda: None)
 
 
 def test_calendar_resizes_and_stats():

@@ -196,3 +196,69 @@ class TestDeadlineSemantics:
         assert queue.get(timeout=0.05) is None       # just a timeout
         queue.close()
         assert queue.get(timeout=0.05) is QUEUE_CLOSED
+
+
+class TestBufferAccounting:
+    """Regression: ``stalls`` used to count condition-variable wakeups
+    (one blocked allocation could inflate it arbitrarily), ``free`` never
+    decremented ``bytes_reserved``, and a timed-out allocation raised
+    before recording its ``shm_stall`` span — losing exactly the longest
+    stalls from the trace."""
+
+    def test_bytes_reserved_tracks_free(self):
+        buffer = RuntimeBuffer(256)
+        a = buffer.allocate(64)
+        b = buffer.allocate(32)
+        assert buffer.bytes_reserved == 96
+        assert buffer.bytes_reserved_total == 96
+        buffer.free(a)
+        assert buffer.bytes_reserved == 32
+        buffer.free(b)
+        assert buffer.bytes_reserved == 0
+        # The cumulative counter never goes down.
+        assert buffer.bytes_reserved_total == 96
+
+    def test_stalls_count_blocked_allocations_not_wakeups(self):
+        buffer = RuntimeBuffer(64)
+        assert buffer.allocate(64) is not None
+        assert buffer.stalls == 0  # immediate success is not a stall
+        stop = threading.Event()
+
+        def churn():
+            # Wake the blocked allocation repeatedly without making room.
+            while not stop.is_set():
+                with buffer._freed:
+                    buffer._freed.notify_all()
+                time.sleep(0.01)
+
+        nagger = threading.Thread(target=churn, daemon=True)
+        nagger.start()
+        try:
+            with pytest.raises(ShmAllocationError):
+                buffer.allocate(64, timeout=0.2)
+        finally:
+            stop.set()
+            nagger.join(timeout=5.0)
+        assert buffer.stalls == 1
+
+    def test_timed_out_stall_is_traced(self):
+        from repro.observe.tracer import Tracer
+        tracer = Tracer()
+        buffer = RuntimeBuffer(64, tracer=tracer)
+        block = buffer.allocate(64)
+        with pytest.raises(ShmAllocationError):
+            buffer.allocate(64, timeout=0.05)
+        spans = tracer.spans_in("shm_stall")
+        assert len(spans) == 1
+        assert spans[0].attrs["timeout"] is True
+        assert spans[0].duration >= 0.05
+        # A stall that eventually succeeds is tagged timeout=False.
+        waiter = threading.Thread(
+            target=lambda: buffer.allocate(64, timeout=5.0))
+        waiter.start()
+        time.sleep(0.1)
+        buffer.free(block)
+        waiter.join(timeout=5.0)
+        spans = tracer.spans_in("shm_stall")
+        assert len(spans) == 2
+        assert spans[1].attrs["timeout"] is False
