@@ -36,9 +36,10 @@ import json
 import os
 import pickle
 import tempfile
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.cache.keys import (
     UncacheableArgument,
@@ -116,6 +117,35 @@ class ResultCache:
         # Stats already merged into the on-disk totals by an earlier
         # flush(); only the delta past this snapshot is merged next time.
         self._flushed: Dict[str, int] = {key: 0 for key in _STAT_KEYS}
+        # Concurrent-reader stats: the service reads hits/misses from its
+        # event loop while pool callbacks record them from other threads,
+        # so increments go through _record under one lock, and listeners
+        # (metrics exporters) observe every change as it happens.
+        self._stats_lock = threading.Lock()
+        self._listeners: List[Callable[[str, int], None]] = []
+
+    def add_stats_listener(self,
+                           listener: Callable[[str, int], None]) -> None:
+        """Call ``listener(stat_name, delta)`` on every stats change.
+
+        Listeners fire synchronously under the stats lock, so they must
+        be fast and must not call back into the cache; incrementing an
+        external counter (the service's Prometheus registry) is the
+        intended use.
+        """
+        self._listeners.append(listener)
+
+    def _record(self, stat: str, n: int = 1) -> None:
+        with self._stats_lock:
+            setattr(self.stats, stat, getattr(self.stats, stat) + n)
+            for listener in self._listeners:
+                listener(stat, n)
+
+    def record_bypass(self, n: int = 1) -> None:
+        """Count ``n`` tasks that skipped the cache (trace runs,
+        uncacheable arguments) — callers must not poke ``stats``
+        directly, or listeners would miss the change."""
+        self._record("bypasses", n)
 
     # ------------------------------------------------------------------ #
     # paths
@@ -162,18 +192,18 @@ class ResultCache:
             with open(path, "rb") as fh:
                 blob = fh.read()
         except OSError:
-            self.stats.misses += 1
+            self._record("misses")
             return False, None
         payload = self._decode(blob)
         if payload is None:
-            self.stats.misses += 1
-            self.stats.corrupt += 1
+            self._record("misses")
+            self._record("corrupt")
             try:
                 os.remove(path)
             except OSError:
                 pass
             return False, None
-        self.stats.hits += 1
+        self._record("hits")
         try:
             os.utime(path)  # LRU touch
         except OSError:
@@ -205,7 +235,7 @@ class ResultCache:
             except OSError:
                 pass
             raise
-        self.stats.writes += 1
+        self._record("writes")
         entry_meta["size"] = _HEADER_SIZE + len(body)
         self._pending_index[key] = entry_meta
 
@@ -356,7 +386,7 @@ class ResultCache:
             total -= info.size
             removed.append(info.key)
         if removed:
-            self.stats.evicted += len(removed)
+            self._record("evicted", len(removed))
             index = self.load_index()
             for key in removed:
                 index["entries"].pop(key, None)
@@ -387,7 +417,7 @@ class ResultCache:
             removed += 1
         if removed:
             self._write_index(index)
-        self.stats.evicted += removed
+            self._record("evicted", removed)
         return removed
 
     def verify(self) -> List[str]:

@@ -41,8 +41,8 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.cache.store import ResultCache, cache_from_env
 
-__all__ = ["SweepTask", "default_parallelism", "pool_chunksize",
-           "run_sweep"]
+__all__ = ["SweepProgress", "SweepTask", "default_parallelism",
+           "env_mode_context", "pool_chunksize", "run_sweep"]
 
 #: Upper bound for the computed ``ProcessPoolExecutor.map`` chunksize:
 #: large enough to amortise IPC, small enough to keep workers balanced.
@@ -113,11 +113,32 @@ def pool_chunksize(ntasks: int, workers: int) -> int:
     return max(1, min(_MAX_CHUNKSIZE, ntasks // (workers * 4)))
 
 
+@dataclass(frozen=True)
+class SweepProgress:
+    """One progress tick of :func:`run_sweep`.
+
+    ``done`` counts every finished task — cache hits, bypasses and pool
+    results alike — through one accounting path, so a consumer always
+    observes ``done`` advancing by exactly 1 per event, from 1 to
+    ``total``, regardless of how the hit/miss partition interleaves with
+    parallel completion. ``index`` is the task's position in the
+    submitted list; ``source`` says how the result was produced.
+    """
+
+    done: int
+    total: int
+    hits: int
+    computed: int
+    index: int
+    source: str  # "cache" | "pool" | "serial"
+    label: str = ""
+
+
 def _call(task: SweepTask) -> Any:
     return task.run()
 
 
-def _env_mode_context() -> Dict[str, Any]:
+def env_mode_context() -> Dict[str, Any]:
     # The drivers read REPRO_FAST (phase counts), REPRO_SOLVER
     # (bandwidth-share strategy — at the cluster models' nonzero
     # fairness_slack the solvers batch freeze rounds differently),
@@ -142,15 +163,17 @@ def _resolve_cache(cache: Union[ResultCache, None, bool],
         return None
     if isinstance(cache, ResultCache):
         if cache.context is None:
-            cache.context = _env_mode_context()
+            cache.context = env_mode_context()
         return cache
-    return cache_from_env(context=_env_mode_context())
+    return cache_from_env(context=env_mode_context())
 
 
 def run_sweep(tasks: Iterable[SweepTask],
               parallel: Optional[int] = None,
               cache: Union[ResultCache, None, bool] = None,
-              chunksize: Optional[int] = None) -> List[Any]:
+              chunksize: Optional[int] = None,
+              progress: Optional[Callable[[SweepProgress], None]] = None,
+              ) -> List[Any]:
     """Run every task and return their results **in task order**.
 
     ``parallel=None`` consults :func:`default_parallelism`; ``1`` (or a
@@ -167,17 +190,41 @@ def run_sweep(tasks: Iterable[SweepTask],
     back atomically, then an LRU eviction pass bounds the store size.
     With ``REPRO_TRACE`` set every task is a *bypass*: trace files are a
     side effect a cache hit would skip.
+
+    ``progress`` is called once per finished task with a
+    :class:`SweepProgress` whose ``done`` counter is strictly monotonic:
+    cache hits served in the parent and results arriving from the worker
+    pool are counted through the same accounting path, so totals can
+    never be observed out of order however completion interleaves.
     """
     task_list = list(tasks)
+    total = len(task_list)
     workers = default_parallelism() if parallel is None else max(1, int(parallel))
-    workers = min(workers, len(task_list))
+    workers = min(workers, total)
     store = _resolve_cache(cache)
     if store is not None and os.environ.get("REPRO_TRACE", ""):
-        store.stats.bypasses += len(task_list)
+        store.record_bypass(total)
         store.flush()
         store = None
 
-    results: List[Any] = [None] * len(task_list)
+    done = hits = computed_count = 0
+
+    def _advance(index: int, source: str, label: str) -> None:
+        # The single accounting path: every finished task — cache hit,
+        # bypass or pool result — passes through here exactly once.
+        nonlocal done, hits, computed_count
+        done += 1
+        if source == "cache":
+            hits += 1
+        else:
+            computed_count += 1
+        if progress is not None:
+            progress(SweepProgress(
+                done=done, total=total, hits=hits,
+                computed=computed_count, index=index, source=source,
+                label=label))
+
+    results: List[Any] = [None] * total
     if store is None:
         pending: List[Tuple[int, Optional[str], SweepTask]] = [
             (i, None, task) for i, task in enumerate(task_list)]
@@ -186,35 +233,42 @@ def run_sweep(tasks: Iterable[SweepTask],
         for i, task in enumerate(task_list):
             key = store.key_for(task.fn, task.args, task.kwargs)
             if key is None:
-                store.stats.bypasses += 1
+                store.record_bypass()
                 pending.append((i, None, task))
                 continue
             hit, value = store.get(key)
             if hit:
                 results[i] = value
+                _advance(i, "cache", task.label)
             else:
                 pending.append((i, key, task))
 
+    def _collect(computed: Iterable[Any], source: str) -> None:
+        # Stream results back as they arrive: write each miss to the
+        # store immediately and emit its progress tick in completion
+        # order (ProcessPoolExecutor.map yields in submission order, so
+        # assembly into ``results`` stays bit-identical to serial).
+        for (i, key, task), value in zip(pending, computed):
+            results[i] = value
+            _advance(i, source, task.label)
+            if store is not None and key is not None:
+                fn = task.fn
+                store.put(key, value, meta={
+                    "fn": f"{getattr(fn, '__module__', '?')}."
+                          f"{getattr(fn, '__qualname__', '?')}",
+                    "label": task.label,
+                })
+
     workers = min(workers, len(pending))
     if workers <= 1:
-        computed = [task.run() for _i, _key, task in pending]
+        _collect((task.run() for _i, _key, task in pending), "serial")
     else:
         if chunksize is None:
             chunksize = pool_chunksize(len(pending), workers)
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            computed = list(pool.map(
+            _collect(pool.map(
                 _call, [task for _i, _key, task in pending],
-                chunksize=max(1, int(chunksize))))
-
-    for (i, key, task), value in zip(pending, computed):
-        results[i] = value
-        if store is not None and key is not None:
-            fn = task.fn
-            store.put(key, value, meta={
-                "fn": f"{getattr(fn, '__module__', '?')}."
-                      f"{getattr(fn, '__qualname__', '?')}",
-                "label": task.label,
-            })
+                chunksize=max(1, int(chunksize))), "pool")
 
     if store is not None:
         store.flush()

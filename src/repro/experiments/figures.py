@@ -42,26 +42,11 @@ from repro.analysis.model import breakeven_io_fraction, dedication_benefit
 from repro.analysis.scalability import scalability_factor
 from repro.analysis.stats import jitter_stats
 from repro.apps.workload import CM1Workload
-from repro.core.server import DamarisOptions
 from repro.experiments.executor import SweepTask, run_sweep
-from repro.experiments.harness import ExperimentResult, run_experiment
-from repro.experiments.platforms import (
-    PlatformPreset,
-    blueprint_preset,
-    grid5000_preset,
-    kraken_preset,
-)
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.platforms import blueprint_preset
 from repro.experiments.report import FigureReport
-from repro.formats.compression import GZIP16_MODEL, GZIP_MODEL
-from repro.observe.export import dump_jsonl
-from repro.observe.tracer import Tracer
-from repro.strategies import (
-    CollectiveIOStrategy,
-    DamarisFailoverStrategy,
-    DamarisStrategy,
-    FilePerProcessStrategy,
-    NoIOStrategy,
-)
+from repro.experiments.specs import run_spec
 from repro.units import GB, MB, MiB
 
 __all__ = [
@@ -95,107 +80,16 @@ def _phases() -> int:
     return 1 if fast_mode() else 2
 
 
-def _collective_for(preset: PlatformPreset,
-                    stripe_size: Optional[int] = None
-                    ) -> CollectiveIOStrategy:
-    return CollectiveIOStrategy(
-        mode=preset.collective_mode,
-        stripe_count=preset.collective_stripe_count,
-        stripe_size=stripe_size)
-
-
-def _run(preset: PlatformPreset, ncores: int, strategy,
-         workload: Optional[CM1Workload] = None, seed: int = 42,
-         write_phases: Optional[int] = None, **kwargs) -> ExperimentResult:
-    machine, fs, default_workload = preset.build(ncores, seed=seed)
-    return run_experiment(
-        machine, fs, workload if workload is not None else default_workload,
-        strategy, write_phases=write_phases if write_phases is not None
-        else _phases(), **kwargs)
-
-
 # ---------------------------------------------------------------------- #
 # Picklable sweep specs
 # ---------------------------------------------------------------------- #
 # A spec fully describes one experiment run as plain data so it can cross
 # a process boundary: {"preset": ..., "ncores": ..., "strategy": {...},
-# "seed": ..., optional "nvariables"/"write_phases"/"compression"}.
-
-_PRESETS = {
-    "kraken": kraken_preset,
-    "grid5000": grid5000_preset,
-    "blueprint": blueprint_preset,
-}
-
-_COMPRESSION = {
-    "gzip": GZIP_MODEL,
-    "gzip16": GZIP16_MODEL,
-}
-
-
-def _strategy_from_spec(spec: Dict[str, Any], preset: PlatformPreset):
-    kind = spec["kind"]
-    if kind == "fpp":
-        return FilePerProcessStrategy(compress=spec.get("compress", False))
-    if kind == "collective":
-        return _collective_for(preset, stripe_size=spec.get("stripe_size"))
-    if kind == "noio":
-        return NoIOStrategy()
-    if kind in ("damaris", "damaris_failover"):
-        options_kwargs: Dict[str, Any] = {}
-        if spec.get("compression"):
-            options_kwargs["compression"] = _COMPRESSION[spec["compression"]]
-        if spec.get("use_scheduler"):
-            options_kwargs["use_scheduler"] = True
-        strategy_kwargs: Dict[str, Any] = {}
-        if options_kwargs:
-            strategy_kwargs["options"] = DamarisOptions(**options_kwargs)
-        if spec.get("compress_on_server"):
-            strategy_kwargs["compress_on_server"] = True
-        cls = (DamarisFailoverStrategy if kind == "damaris_failover"
-               else DamarisStrategy)
-        return cls(**strategy_kwargs)
-    raise ValueError(f"unknown strategy kind: {kind!r}")
-
-
-def _run_spec(spec: Dict[str, Any]) -> ExperimentResult:
-    """Execute one sweep spec (module-level: picklable for worker pools).
-
-    With ``REPRO_TRACE=<dir>`` in the environment (the ``--trace`` flag
-    of the figure CLIs), the run records a full trace and dumps it to
-    ``<dir>/<label>.jsonl`` — one file per sweep configuration, worker
-    processes included, since each spec carries its own label."""
-    preset = _PRESETS[spec["preset"]]()
-    workload = None
-    if "nvariables" in spec:
-        workload = CM1Workload.blueprint(nvariables=spec["nvariables"])
-    strategy = _strategy_from_spec(spec["strategy"], preset)
-    run_kwargs: Dict[str, Any] = {}
-    if spec.get("run_compression"):
-        run_kwargs["compression"] = _COMPRESSION[spec["run_compression"]]
-    if spec.get("faults"):
-        # The schedule travels inside the spec as a plain dict, so it is
-        # picklable for worker pools and folds into sweep-cache keys for
-        # free (the store keys by the full spec).
-        from repro.faults import FaultSchedule
-        run_kwargs["faults"] = FaultSchedule.from_dict(spec["faults"])
-    trace_dir = os.environ.get("REPRO_TRACE", "")
-    tracer = None
-    if trace_dir:
-        tracer = Tracer()
-        run_kwargs["tracer"] = tracer
-    result = _run(preset, spec["ncores"], strategy, workload=workload,
-                  seed=spec.get("seed", 42),
-                  write_phases=spec.get("write_phases"), **run_kwargs)
-    if tracer is not None:
-        label = spec.get(
-            "trace_label",
-            f"{spec['preset']}-{spec['ncores']}"
-            f"-{spec['strategy']['kind']}")
-        os.makedirs(trace_dir, exist_ok=True)
-        dump_jsonl(tracer, os.path.join(
-            trace_dir, label.replace("/", "-") + ".jsonl"))
-    return result
+# "seed": ..., optional "nvariables"/"write_phases"/"compression"}. The
+# spec vocabulary (validation, strategy construction, execution) lives in
+# :mod:`repro.experiments.specs`, shared with the repro.service job
+# server — a spec submitted over the wire runs exactly the code path a
+# figure driver fans out locally.
 
 
 def _sweep(specs: Sequence[Dict[str, Any]],
@@ -207,7 +101,7 @@ def _sweep(specs: Sequence[Dict[str, Any]],
         # The index keeps trace files apart when a sweep repeats the
         # same (preset, scale, strategy) with different parameters.
         spec = dict(spec, trace_label=f"{label}/{i:02d}")
-        tasks.append(SweepTask(_run_spec, (spec,), label=label))
+        tasks.append(SweepTask(run_spec, (spec,), label=label))
     return run_sweep(tasks)
 
 

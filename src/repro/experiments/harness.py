@@ -147,6 +147,39 @@ class ExperimentResult:
                  if r["recovery_time"] is not None]
         return float(np.max(times)) if times else 0.0
 
+    # -- wire format (repro.service) ------------------------------------- #
+    def summary(self) -> Dict:
+        """JSON-safe digest of this run (plain ints/floats/strings only).
+
+        This is what the sweep service returns over the wire: every
+        derived measurement the figure drivers read, without the raw
+        per-rank numpy arrays (whole-phase jitter spread is preserved as
+        ``rank_time_spread``).
+        """
+        return {
+            "strategy": self.strategy,
+            "ncores": int(self.ncores),
+            "compute_ranks": int(self.compute_ranks),
+            "write_phases": len(self.phases),
+            "run_time": float(self.run_time),
+            "drain_time": float(self.drain_time),
+            "bytes_per_phase": float(self.bytes_per_phase),
+            "avg_write_phase": self.avg_write_phase,
+            "max_write_phase": self.max_write_phase,
+            "min_write_phase": self.min_write_phase,
+            "rank_time_spread": self.rank_time_spread,
+            "aggregate_throughput": self.aggregate_throughput,
+            "io_fraction": self.io_fraction,
+            "spare_fraction": (None if self.spare_fraction is None
+                               else float(self.spare_fraction)),
+            "dedicated_write_times": [float(t) for t
+                                      in self.dedicated_write_times],
+            "files_created": int(self.files_created),
+            "data_loss_bytes": self.data_loss_bytes,
+            "mean_recovery_time": self.mean_recovery_time,
+            "fault_records": [dict(r) for r in self.fault_records],
+        }
+
 
 def run_experiment(machine: Machine, fs: ParallelFileSystem,
                    workload: CM1Workload, strategy: IOStrategy,

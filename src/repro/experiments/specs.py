@@ -1,0 +1,255 @@
+"""Standalone sweep specs: plain-data descriptions of one experiment.
+
+A *spec* is the picklable dict the figure drivers have always fanned out
+through :func:`repro.experiments.executor.run_sweep`::
+
+    {"preset": "kraken", "ncores": 576,
+     "strategy": {"kind": "damaris"}, "seed": 42}
+
+This module makes that shape a first-class citizen, decoupled from the
+figure drivers, so a spec can be submitted standalone — from a figure
+driver, from a script, or over the wire to the :mod:`repro.service` job
+server — and always means the same experiment:
+
+- :data:`PRESETS` / :data:`STRATEGY_KINDS` — the recognised platform
+  presets and strategy kinds;
+- :func:`validate_spec` — structural validation with precise error
+  messages (the service's admission check; drivers construct specs
+  programmatically and skip it);
+- :func:`strategy_from_spec` — build the strategy object a spec names;
+- :func:`run_spec` — execute one spec and return its
+  :class:`~repro.experiments.harness.ExperimentResult`. Module-level and
+  picklable, so it crosses process-pool boundaries and keys the
+  content-addressed result cache.
+
+Optional spec fields: ``seed`` (int, default 42), ``write_phases``
+(int >= 1), ``nvariables`` (BluePrint workload variable count),
+``run_compression`` (harness-level compression model name),
+``faults`` (a :meth:`repro.faults.FaultSchedule.to_dict` payload) and
+``trace_label`` (names the trace file under ``REPRO_TRACE``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Optional
+
+from repro.apps.workload import CM1Workload
+from repro.core.server import DamarisOptions
+from repro.experiments.harness import ExperimentResult, run_experiment
+from repro.experiments.platforms import (
+    PlatformPreset,
+    blueprint_preset,
+    grid5000_preset,
+    kraken_preset,
+)
+from repro.formats.compression import GZIP16_MODEL, GZIP_MODEL
+from repro.observe.export import dump_jsonl
+from repro.observe.tracer import Tracer
+from repro.strategies import (
+    CollectiveIOStrategy,
+    DamarisFailoverStrategy,
+    DamarisStrategy,
+    FilePerProcessStrategy,
+    NoIOStrategy,
+)
+
+__all__ = [
+    "PRESETS",
+    "STRATEGY_KINDS",
+    "SpecError",
+    "validate_spec",
+    "strategy_from_spec",
+    "run_spec",
+]
+
+PRESETS = {
+    "kraken": kraken_preset,
+    "grid5000": grid5000_preset,
+    "blueprint": blueprint_preset,
+}
+
+_COMPRESSION = {
+    "gzip": GZIP_MODEL,
+    "gzip16": GZIP16_MODEL,
+}
+
+#: Recognised ``spec["strategy"]["kind"]`` values.
+STRATEGY_KINDS = ("fpp", "collective", "noio", "damaris",
+                  "damaris_failover")
+
+#: Every key a spec may carry (anything else is a validation error —
+#: a typo like "ncore" must not silently describe a different run).
+_SPEC_KEYS = frozenset({
+    "preset", "ncores", "strategy", "seed", "write_phases", "nvariables",
+    "run_compression", "faults", "trace_label",
+})
+
+_STRATEGY_KEYS = frozenset({
+    "kind", "compress", "stripe_size", "compression", "use_scheduler",
+    "compress_on_server",
+})
+
+
+class SpecError(ValueError):
+    """A sweep spec that does not describe a runnable experiment."""
+
+
+def _require_int(spec: Dict[str, Any], key: str, minimum: int) -> None:
+    value = spec[key]
+    if not isinstance(value, int) or isinstance(value, bool) \
+            or value < minimum:
+        raise SpecError(
+            f"spec[{key!r}] must be an integer >= {minimum}, "
+            f"got {value!r}")
+
+
+def validate_spec(spec: Any) -> Dict[str, Any]:
+    """Check that ``spec`` is a well-formed sweep spec; return it.
+
+    Raises :class:`SpecError` naming the first offending field. The
+    check is structural (types, known names, ranges) — it does not build
+    a machine, so it is cheap enough for a service admission path.
+    """
+    if not isinstance(spec, dict):
+        raise SpecError(f"a sweep spec is a dict, got {type(spec).__name__}")
+    unknown = set(spec) - _SPEC_KEYS
+    if unknown:
+        raise SpecError(
+            f"unknown spec field(s): {sorted(unknown)} "
+            f"(known: {sorted(_SPEC_KEYS)})")
+    for key in ("preset", "ncores", "strategy"):
+        if key not in spec:
+            raise SpecError(f"a sweep spec needs {key!r}; got {sorted(spec)}")
+    if spec["preset"] not in PRESETS:
+        raise SpecError(
+            f"unknown preset {spec['preset']!r}; known: {sorted(PRESETS)}")
+    _require_int(spec, "ncores", 1)
+    strategy = spec["strategy"]
+    if not isinstance(strategy, dict) or "kind" not in strategy:
+        raise SpecError("spec['strategy'] must be a dict with a 'kind'")
+    if strategy["kind"] not in STRATEGY_KINDS:
+        raise SpecError(
+            f"unknown strategy kind {strategy['kind']!r}; "
+            f"known: {sorted(STRATEGY_KINDS)}")
+    unknown = set(strategy) - _STRATEGY_KEYS
+    if unknown:
+        raise SpecError(
+            f"unknown strategy field(s): {sorted(unknown)} "
+            f"(known: {sorted(_STRATEGY_KEYS)})")
+    if "compression" in strategy \
+            and strategy["compression"] not in _COMPRESSION:
+        raise SpecError(
+            f"unknown compression {strategy['compression']!r}; "
+            f"known: {sorted(_COMPRESSION)}")
+    if "seed" in spec:
+        _require_int(spec, "seed", 0)
+    if "write_phases" in spec:
+        _require_int(spec, "write_phases", 1)
+    if "nvariables" in spec:
+        _require_int(spec, "nvariables", 1)
+    if "run_compression" in spec \
+            and spec["run_compression"] not in _COMPRESSION:
+        raise SpecError(
+            f"unknown run_compression {spec['run_compression']!r}; "
+            f"known: {sorted(_COMPRESSION)}")
+    if "faults" in spec and spec["faults"]:
+        from repro.faults import FaultSchedule
+        from repro.faults.schedule import FaultScheduleError
+        try:
+            FaultSchedule.from_dict(spec["faults"])
+        except FaultScheduleError as exc:
+            raise SpecError(f"spec['faults']: {exc}") from None
+    return spec
+
+
+def _collective_for(preset: PlatformPreset,
+                    stripe_size: Optional[int] = None
+                    ) -> CollectiveIOStrategy:
+    return CollectiveIOStrategy(
+        mode=preset.collective_mode,
+        stripe_count=preset.collective_stripe_count,
+        stripe_size=stripe_size)
+
+
+def strategy_from_spec(spec: Dict[str, Any], preset: PlatformPreset):
+    """Build the strategy object ``spec`` (a strategy sub-dict) names."""
+    kind = spec["kind"]
+    if kind == "fpp":
+        return FilePerProcessStrategy(compress=spec.get("compress", False))
+    if kind == "collective":
+        return _collective_for(preset, stripe_size=spec.get("stripe_size"))
+    if kind == "noio":
+        return NoIOStrategy()
+    if kind in ("damaris", "damaris_failover"):
+        options_kwargs: Dict[str, Any] = {}
+        if spec.get("compression"):
+            options_kwargs["compression"] = _COMPRESSION[spec["compression"]]
+        if spec.get("use_scheduler"):
+            options_kwargs["use_scheduler"] = True
+        strategy_kwargs: Dict[str, Any] = {}
+        if options_kwargs:
+            strategy_kwargs["options"] = DamarisOptions(**options_kwargs)
+        if spec.get("compress_on_server"):
+            strategy_kwargs["compress_on_server"] = True
+        cls = (DamarisFailoverStrategy if kind == "damaris_failover"
+               else DamarisStrategy)
+        return cls(**strategy_kwargs)
+    raise SpecError(f"unknown strategy kind: {kind!r}")
+
+
+def run_spec(spec: Dict[str, Any],
+             tracer: Optional[Tracer] = None) -> ExperimentResult:
+    """Execute one sweep spec (module-level: picklable for worker pools).
+
+    With ``REPRO_TRACE=<dir>`` in the environment (the ``--trace`` flag
+    of the figure CLIs), the run records a full trace and dumps it to
+    ``<dir>/<label>.jsonl`` — one file per sweep configuration, worker
+    processes included, since each spec carries its own label. An
+    explicit ``tracer`` records into the caller's object instead and
+    writes no file (the service uses this to harvest solver counters).
+    """
+    preset = PRESETS[spec["preset"]]()
+    workload = None
+    if "nvariables" in spec:
+        workload = CM1Workload.blueprint(nvariables=spec["nvariables"])
+    strategy = strategy_from_spec(spec["strategy"], preset)
+    run_kwargs: Dict[str, Any] = {}
+    if spec.get("run_compression"):
+        run_kwargs["compression"] = _COMPRESSION[spec["run_compression"]]
+    if spec.get("faults"):
+        # The schedule travels inside the spec as a plain dict, so it is
+        # picklable for worker pools and folds into sweep-cache keys for
+        # free (the store keys by the full spec).
+        from repro.faults import FaultSchedule
+        run_kwargs["faults"] = FaultSchedule.from_dict(spec["faults"])
+    trace_dir = ""
+    if tracer is None:
+        trace_dir = os.environ.get("REPRO_TRACE", "")
+        if trace_dir:
+            tracer = Tracer()
+    if tracer is not None:
+        run_kwargs["tracer"] = tracer
+
+    machine, fs, default_workload = preset.build(
+        spec["ncores"], seed=spec.get("seed", 42))
+    result = run_experiment(
+        machine, fs, workload if workload is not None else default_workload,
+        strategy,
+        write_phases=spec.get("write_phases", _default_phases()),
+        **run_kwargs)
+
+    if trace_dir:
+        label = spec.get(
+            "trace_label",
+            f"{spec['preset']}-{spec['ncores']}"
+            f"-{spec['strategy']['kind']}")
+        os.makedirs(trace_dir, exist_ok=True)
+        dump_jsonl(tracer, os.path.join(
+            trace_dir, label.replace("/", "-") + ".jsonl"))
+    return result
+
+
+def _default_phases() -> int:
+    fast = os.environ.get("REPRO_FAST", "") not in ("", "0", "false")
+    return 1 if fast else 2

@@ -6,7 +6,9 @@ the threaded runtime.
 - :mod:`repro.observe.export` — JSONL archive format (round-trips) and
   Chrome ``trace_event`` export for ``chrome://tracing``;
 - :mod:`repro.observe.aggregate` — per-actor/per-target tables and the
-  persist-vs-write_phase overlap check.
+  persist-vs-write_phase overlap check;
+- :mod:`repro.observe.metrics` — trace counters reduced to flat totals
+  for metrics exporters (the service's ``/metrics`` endpoint).
 """
 
 from repro.observe.tracer import (
@@ -25,6 +27,11 @@ from repro.observe.export import (
     load_jsonl,
     to_chrome_trace,
     to_jsonl,
+)
+from repro.observe.metrics import (
+    SCHED_COUNTERS,
+    SOLVER_COUNTERS,
+    trace_counters,
 )
 from repro.observe.aggregate import (
     aggregate_spans,
@@ -59,4 +66,7 @@ __all__ = [
     "per_target_table",
     "render_summary",
     "solver_table",
+    "SOLVER_COUNTERS",
+    "SCHED_COUNTERS",
+    "trace_counters",
 ]

@@ -1,0 +1,150 @@
+"""A blocking client for the sweep service.
+
+Built on ``http.client`` (stdlib; one connection per request, matching
+the server's connection-per-request model) so scripts, the ``servectl``
+CLI and the test fixture all talk to the server through the same code
+path. Error responses are rebuilt into the *same* typed
+:class:`~repro.service.errors.ServiceError` subclasses the server
+raised, so ``except RateLimitedError`` works identically in-process and
+over the wire.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, List, Optional
+from urllib.parse import urlencode
+
+from repro.service.errors import ServiceError, error_from_payload
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Talks to one :class:`~repro.service.server.SweepService`."""
+
+    def __init__(self, host: str, port: int, *,
+                 tenant: Optional[str] = None,
+                 timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------ #
+    # transport
+    # ------------------------------------------------------------------ #
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None,
+                 query: Optional[Dict[str, Any]] = None,
+                 timeout: Optional[float] = None) -> Any:
+        if query:
+            path = f"{path}?{urlencode(query)}"
+        headers = {"Accept": "application/json", "Connection": "close"}
+        if self.tenant:
+            headers["X-Repro-Tenant"] = self.tenant
+        data = None
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        conn = http.client.HTTPConnection(
+            self.host, self.port,
+            timeout=self.timeout if timeout is None else timeout)
+        try:
+            conn.request(method, path, body=data, headers=headers)
+            resp = conn.getresponse()
+            raw = resp.read()
+        finally:
+            conn.close()
+        content_type = resp.headers.get("Content-Type", "")
+        if not content_type.startswith("application/json"):
+            if resp.status >= 400:
+                raise error_from_payload(None, resp.status)
+            return raw.decode("utf-8")
+        try:
+            payload = json.loads(raw.decode("utf-8")) if raw else None
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            raise ServiceError(
+                f"undecodable response (HTTP {resp.status})")
+        if resp.status >= 400:
+            raise error_from_payload(payload, resp.status)
+        return payload
+
+    # ------------------------------------------------------------------ #
+    # endpoints
+    # ------------------------------------------------------------------ #
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> str:
+        """The raw Prometheus text page."""
+        return self._request("GET", "/metrics")
+
+    def submit(self, specs: List[Dict[str, Any]], *, priority: int = 0,
+               label: str = "",
+               tenant: Optional[str] = None) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"specs": specs}
+        if priority:
+            payload["priority"] = priority
+        if label:
+            payload["label"] = label
+        if tenant or self.tenant:
+            payload["tenant"] = tenant or self.tenant
+        return self._request("POST", "/v1/jobs", body=payload)
+
+    def jobs(self, tenant: Optional[str] = None) -> List[Dict[str, Any]]:
+        query = {"tenant": tenant} if tenant else None
+        return self._request("GET", "/v1/jobs", query=query)["jobs"]
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def events(self, job_id: str, after: int = -1,
+               wait: float = 0.0) -> Dict[str, Any]:
+        """Events with ``seq > after``; ``wait`` long-polls server-side."""
+        return self._request(
+            "GET", f"/v1/jobs/{job_id}/events",
+            query={"after": after, "wait": wait},
+            timeout=max(self.timeout, wait + 10.0))
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        """The full result document of a finished job.
+
+        A ``failed`` job re-raises its stored typed error (e.g.
+        :class:`~repro.service.errors.WorkerCrashedError`).
+        """
+        doc = self._request("GET", f"/v1/jobs/{job_id}/result")
+        if doc.get("state") == "failed" and doc.get("error"):
+            raise error_from_payload({"error": doc["error"]})
+        return doc
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("DELETE", f"/v1/jobs/{job_id}")
+
+    def drain(self) -> Dict[str, Any]:
+        return self._request("POST", "/v1/admin/drain")
+
+    # ------------------------------------------------------------------ #
+    # convenience
+    # ------------------------------------------------------------------ #
+    def wait(self, job_id: str, timeout: float = 120.0,
+             poll: float = 2.0) -> Dict[str, Any]:
+        """Block until the job is terminal; returns the final snapshot.
+
+        Uses the long-poll events endpoint, so progress wakes it early;
+        ``poll`` is the per-request server-side wait.
+        """
+        deadline = time.monotonic() + timeout
+        after = -1
+        while True:
+            page = self.events(job_id, after=after, wait=poll)
+            if page["events"]:
+                after = page["events"][-1]["seq"]
+            if page["state"] in ("done", "failed", "cancelled"):
+                return self.status(job_id)
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {page['state']!r} after "
+                    f"{timeout:g} s")

@@ -1,0 +1,137 @@
+"""Typed service errors with a stable wire format.
+
+Every rejection the sweep service produces — bad spec, unknown job,
+quota exhausted, rate limited, draining, worker crash — is a subclass of
+:class:`ServiceError` carrying a machine-readable ``kind`` and an HTTP
+status. The server serialises them with :func:`error_payload`; the
+client reconstructs the *same* exception class from the payload with
+:func:`error_from_payload`, so a caller can ``except RateLimitedError``
+on either side of the wire.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Type
+
+from repro.errors import ReproError
+
+__all__ = [
+    "ServiceError",
+    "InvalidSpecError",
+    "UnknownJobError",
+    "JobNotFinishedError",
+    "QuotaExceededError",
+    "RateLimitedError",
+    "ServiceDrainingError",
+    "WorkerCrashedError",
+    "error_payload",
+    "error_from_payload",
+]
+
+
+class ServiceError(ReproError):
+    """Base class for every typed service rejection."""
+
+    #: Stable machine-readable discriminator (the wire ``kind``).
+    kind = "service_error"
+    #: HTTP status the server responds with.
+    status = 500
+
+    def __init__(self, message: str, **details: Any) -> None:
+        super().__init__(message)
+        self.message = message
+        self.details: Dict[str, Any] = details
+
+
+class InvalidSpecError(ServiceError):
+    """The submitted payload is not a runnable sweep job."""
+
+    kind = "invalid_spec"
+    status = 400
+
+
+class UnknownJobError(ServiceError):
+    """No job with the requested id (or it belongs to another tenant)."""
+
+    kind = "unknown_job"
+    status = 404
+
+
+class JobNotFinishedError(ServiceError):
+    """Results were requested before the job reached a terminal state."""
+
+    kind = "job_not_finished"
+    status = 409
+
+
+class QuotaExceededError(ServiceError):
+    """The tenant is over one of its hard quotas (active jobs, queued
+    specs). Retrying later helps only after its own jobs finish."""
+
+    kind = "quota_exceeded"
+    status = 429
+
+
+class RateLimitedError(ServiceError):
+    """The tenant's token bucket is empty; retry after
+    ``details['retry_after']`` seconds."""
+
+    kind = "rate_limited"
+    status = 429
+
+    def __init__(self, message: str, retry_after: float = 0.0,
+                 **details: Any) -> None:
+        super().__init__(message, retry_after=float(retry_after), **details)
+
+    @property
+    def retry_after(self) -> float:
+        return float(self.details.get("retry_after", 0.0))
+
+
+class ServiceDrainingError(ServiceError):
+    """The server is shutting down: in-flight jobs complete, new
+    submissions are rejected."""
+
+    kind = "draining"
+    status = 503
+
+
+class WorkerCrashedError(ServiceError):
+    """A pool worker died under the job (OOM kill, segfault). The job
+    fails; the server replaces the pool and keeps serving."""
+
+    kind = "worker_crashed"
+    status = 500
+
+
+_KINDS: Dict[str, Type[ServiceError]] = {
+    cls.kind: cls
+    for cls in (ServiceError, InvalidSpecError, UnknownJobError,
+                JobNotFinishedError, QuotaExceededError, RateLimitedError,
+                ServiceDrainingError, WorkerCrashedError)
+}
+
+
+def error_payload(exc: ServiceError) -> Dict[str, Any]:
+    """The JSON body of an error response."""
+    return {"error": {"kind": exc.kind, "message": exc.message,
+                      "details": exc.details}}
+
+
+def error_from_payload(payload: Any,
+                       status: Optional[int] = None) -> ServiceError:
+    """Rebuild the typed exception a server response describes.
+
+    Unknown kinds (a newer server) degrade to the base
+    :class:`ServiceError`, keeping message and details intact.
+    """
+    body = (payload or {}).get("error") if isinstance(payload, dict) else None
+    if not isinstance(body, dict):
+        return ServiceError(f"malformed error response "
+                            f"(HTTP {status}): {payload!r}")
+    cls = _KINDS.get(str(body.get("kind", "")), ServiceError)
+    details = body.get("details")
+    exc = cls.__new__(cls)
+    ServiceError.__init__(exc, str(body.get("message", "")),
+                          **(details if isinstance(details, dict) else {}))
+    return exc

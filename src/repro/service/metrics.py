@@ -1,0 +1,153 @@
+"""A minimal, dependency-free Prometheus metrics registry.
+
+Only what the sweep service needs: ``Counter`` (monotonic) and ``Gauge``
+(settable), both with optional label dimensions, rendered in the
+Prometheus text exposition format (``# HELP`` / ``# TYPE`` headers, one
+``name{label="value"} value`` sample per labelset). Thread-safe: pool
+callbacks and cache listeners increment from worker threads while the
+asyncio server renders ``/metrics`` from the event loop.
+
+Label values are escaped per the exposition format (backslash, quote,
+newline); series render in sorted order so the output is deterministic
+and diff-able in tests.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["Counter", "Gauge", "MetricsRegistry"]
+
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _escape(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+class _Metric:
+    """One named family of samples, keyed by labelset."""
+
+    type_name = "untyped"
+
+    def __init__(self, name: str, help_text: str,
+                 labelnames: Sequence[str] = ()) -> None:
+        self.name = name
+        self.help_text = help_text
+        self.labelnames = tuple(labelnames)
+        self._values: Dict[_LabelKey, float] = {}
+        self._lock = threading.Lock()
+
+    def _key(self, labels: Dict[str, str]) -> _LabelKey:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} takes labels "
+                f"{sorted(self.labelnames)}, got {sorted(labels)}")
+        return tuple((name, str(labels[name])) for name in self.labelnames)
+
+    def value(self, **labels: str) -> float:
+        with self._lock:
+            return self._values.get(self._key(labels), 0.0)
+
+    def samples(self) -> List[Tuple[_LabelKey, float]]:
+        with self._lock:
+            return sorted(self._values.items())
+
+    def render(self) -> str:
+        lines = [f"# HELP {self.name} {self.help_text}",
+                 f"# TYPE {self.name} {self.type_name}"]
+        samples = self.samples()
+        if not samples and not self.labelnames:
+            samples = [((), 0.0)]
+        for key, value in samples:
+            if key:
+                labels = ",".join(f'{name}="{_escape(val)}"'
+                                  for name, val in key)
+                lines.append(f"{self.name}{{{labels}}} {_format(value)}")
+            else:
+                lines.append(f"{self.name} {_format(value)}")
+        return "\n".join(lines)
+
+
+def _format(value: float) -> str:
+    # Integers render without a trailing ".0" — the common case for
+    # counters — while true floats keep full repr precision.
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class Counter(_Metric):
+    """A monotonically increasing sample per labelset."""
+
+    type_name = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease "
+                             f"(inc {amount})")
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+
+class Gauge(_Metric):
+    """A freely settable sample per labelset."""
+
+    type_name = "gauge"
+
+    def set(self, value: float, **labels: str) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        self.inc(-amount, **labels)
+
+
+class MetricsRegistry:
+    """An ordered collection of metrics rendered as one text page."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, _Metric] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str, help_text: str,
+                labelnames: Sequence[str] = ()) -> Counter:
+        return self._register(Counter, name, help_text, labelnames)
+
+    def gauge(self, name: str, help_text: str,
+              labelnames: Sequence[str] = ()) -> Gauge:
+        return self._register(Gauge, name, help_text, labelnames)
+
+    def _register(self, cls, name: str, help_text: str,
+                  labelnames: Sequence[str]):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls) \
+                        or existing.labelnames != tuple(labelnames):
+                    raise ValueError(
+                        f"metric {name!r} already registered with a "
+                        f"different type or labelset")
+                return existing
+            metric = cls(name, help_text, labelnames)
+            self._metrics[name] = metric
+            return metric
+
+    def get(self, name: str) -> Optional[_Metric]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def render(self) -> str:
+        """The full exposition page (trailing newline included)."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        return "\n".join(metric.render() for metric in metrics) + "\n"

@@ -1,0 +1,96 @@
+"""FIFO-with-priorities job queue for the asyncio server.
+
+A thin heap over ``(-priority, seq)``: higher ``priority`` drains first,
+equal priorities drain in strict submission order. Built directly on an
+``asyncio.Condition`` instead of ``asyncio.PriorityQueue`` because the
+service needs two operations the stdlib queue lacks: *removal* of a
+queued entry (job cancellation before dispatch) and *close* semantics
+(drain: getters waiting on an empty closed queue stop waiting).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+from typing import Any, List, Optional, Tuple
+
+__all__ = ["QueueClosed", "JobQueue"]
+
+
+class QueueClosed(Exception):
+    """Raised to a getter when the queue is closed and fully drained."""
+
+
+class JobQueue:
+    """An asyncio priority queue of jobs with cancellation and close."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, Any]] = []
+        self._removed: set = set()
+        self._seq = 0
+        self._closed = False
+        self._cond = asyncio.Condition()
+
+    @property
+    def depth(self) -> int:
+        """Entries currently queued (cancelled entries excluded)."""
+        return len(self._heap) - len(self._removed)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    async def put(self, item: Any, priority: int = 0) -> None:
+        """Enqueue ``item``; raises :class:`QueueClosed` after close."""
+        async with self._cond:
+            if self._closed:
+                raise QueueClosed("queue is closed")
+            heapq.heappush(self._heap, (-int(priority), self._seq, item))
+            self._seq += 1
+            self._cond.notify()
+
+    async def get(self) -> Any:
+        """Dequeue the highest-priority oldest item; wait when empty.
+
+        Raises :class:`QueueClosed` once the queue is closed *and*
+        empty — entries enqueued before close still drain.
+        """
+        async with self._cond:
+            while True:
+                item = self._pop_live()
+                if item is not None:
+                    return item[2]
+                if self._closed:
+                    raise QueueClosed("queue is closed and drained")
+                await self._cond.wait()
+
+    def _pop_live(self) -> Optional[Tuple[int, int, Any]]:
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            token = (entry[0], entry[1])
+            if token in self._removed:
+                self._removed.discard(token)
+                continue
+            return entry
+        return None
+
+    async def remove(self, predicate) -> List[Any]:
+        """Remove (and return) every queued item matching ``predicate``.
+
+        Lazy removal: matching entries are tombstoned and skipped by
+        :meth:`get`, so cancellation is O(queue) without re-heapifying.
+        """
+        removed: List[Any] = []
+        async with self._cond:
+            for entry in self._heap:
+                token = (entry[0], entry[1])
+                if token not in self._removed and predicate(entry[2]):
+                    self._removed.add(token)
+                    removed.append(entry[2])
+        return removed
+
+    async def close(self) -> None:
+        """Reject future puts; wake getters so drained ones can stop."""
+        async with self._cond:
+            self._closed = True
+            self._cond.notify_all()

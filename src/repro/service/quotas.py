@@ -1,0 +1,172 @@
+"""Per-tenant quotas and token-bucket rate limiting.
+
+Admission control for the sweep service, mirroring the paper's framing:
+the shared experiment engine is a *service*, and predictability comes
+from bounding what any one tenant can demand of it. Two mechanisms:
+
+- **hard quotas** — a ceiling on concurrently open (queued + running)
+  jobs and on specs per job; exceeding one raises
+  :class:`~repro.service.errors.QuotaExceededError`;
+- **token-bucket rate limiting** — submissions cost one token per spec
+  (a 100-spec sweep spends the budget of 100 one-spec jobs), the bucket
+  refills continuously; an empty bucket raises
+  :class:`~repro.service.errors.RateLimitedError` with the exact
+  ``retry_after``.
+
+Everything takes an injectable ``clock`` (monotonic seconds) so tests
+drive rate-limit recovery deterministically instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.service.errors import QuotaExceededError, RateLimitedError
+
+__all__ = ["TenantPolicy", "TokenBucket", "QuotaManager"]
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """The limits one tenant runs under."""
+
+    #: Concurrently open (queued + running) jobs. ``0`` disables the cap.
+    max_active_jobs: int = 4
+    #: Specs in a single job. ``0`` disables the cap.
+    max_specs_per_job: int = 256
+    #: Token-bucket refill rate, tokens (= specs) per second.
+    #: ``0`` disables rate limiting.
+    rate: float = 50.0
+    #: Bucket capacity (burst budget), tokens.
+    burst: float = 200.0
+
+
+class TokenBucket:
+    """A continuously refilling token bucket over an injectable clock."""
+
+    def __init__(self, rate: float, burst: float,
+                 clock: Callable[[], float]) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._stamp = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - self._stamp)
+        self._stamp = now
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+
+    @property
+    def tokens(self) -> float:
+        self._refill()
+        return self._tokens
+
+    def try_acquire(self, cost: float = 1.0) -> float:
+        """Take ``cost`` tokens; return 0.0 on success, else the seconds
+        until the bucket will hold that many (no tokens consumed)."""
+        self._refill()
+        if self._tokens >= cost:
+            self._tokens -= cost
+            return 0.0
+        if self.rate <= 0:
+            return float("inf")
+        return (cost - self._tokens) / self.rate
+
+
+@dataclass
+class TenantUsage:
+    """Cumulative per-tenant accounting (exported on ``/metrics``)."""
+
+    jobs_submitted: int = 0
+    specs_submitted: int = 0
+    jobs_rejected: int = 0
+    active_jobs: int = 0
+
+
+class QuotaManager:
+    """Admission control over all tenants.
+
+    One :class:`TenantPolicy` applies as the default; per-tenant
+    overrides replace it wholesale. Thread-safe: the asyncio server
+    calls from its loop, tests poke clocks from the main thread.
+    """
+
+    def __init__(self, default: Optional[TenantPolicy] = None,
+                 overrides: Optional[Dict[str, TenantPolicy]] = None,
+                 clock: Optional[Callable[[], float]] = None) -> None:
+        self.default = default if default is not None else TenantPolicy()
+        self.overrides = dict(overrides or {})
+        self.clock = clock if clock is not None else time.monotonic
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._usage: Dict[str, TenantUsage] = {}
+        self._lock = threading.Lock()
+
+    def policy_for(self, tenant: str) -> TenantPolicy:
+        return self.overrides.get(tenant, self.default)
+
+    def usage_for(self, tenant: str) -> TenantUsage:
+        with self._lock:
+            return self._usage.setdefault(tenant, TenantUsage())
+
+    def usage_snapshot(self) -> Dict[str, TenantUsage]:
+        with self._lock:
+            return dict(self._usage)
+
+    def _bucket(self, tenant: str, policy: TenantPolicy) -> TokenBucket:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = TokenBucket(policy.rate, policy.burst, self.clock)
+            self._buckets[tenant] = bucket
+        return bucket
+
+    def admit(self, tenant: str, nspecs: int) -> None:
+        """Admit one job of ``nspecs`` specs for ``tenant`` or raise.
+
+        On success the tenant's active-job count is incremented; the
+        caller owes a matching :meth:`release` when the job reaches a
+        terminal state.
+        """
+        policy = self.policy_for(tenant)
+        with self._lock:
+            usage = self._usage.setdefault(tenant, TenantUsage())
+            if policy.max_specs_per_job \
+                    and nspecs > policy.max_specs_per_job:
+                usage.jobs_rejected += 1
+                raise QuotaExceededError(
+                    f"job has {nspecs} specs; tenant {tenant!r} is "
+                    f"limited to {policy.max_specs_per_job} per job",
+                    tenant=tenant, limit="max_specs_per_job",
+                    max_specs_per_job=policy.max_specs_per_job)
+            if policy.max_active_jobs \
+                    and usage.active_jobs >= policy.max_active_jobs:
+                usage.jobs_rejected += 1
+                raise QuotaExceededError(
+                    f"tenant {tenant!r} already has {usage.active_jobs} "
+                    f"open jobs (limit {policy.max_active_jobs})",
+                    tenant=tenant, limit="max_active_jobs",
+                    max_active_jobs=policy.max_active_jobs)
+            if policy.rate > 0:
+                retry_after = self._bucket(tenant, policy).try_acquire(
+                    float(nspecs))
+                if retry_after > 0:
+                    usage.jobs_rejected += 1
+                    raise RateLimitedError(
+                        f"tenant {tenant!r} is over its submission rate "
+                        f"({policy.rate:g} specs/s, burst "
+                        f"{policy.burst:g}); retry in "
+                        f"{retry_after:.3f} s",
+                        retry_after=retry_after, tenant=tenant)
+            usage.jobs_submitted += 1
+            usage.specs_submitted += nspecs
+            usage.active_jobs += 1
+
+    def release(self, tenant: str) -> None:
+        """A previously admitted job reached a terminal state."""
+        with self._lock:
+            usage = self._usage.setdefault(tenant, TenantUsage())
+            usage.active_jobs = max(0, usage.active_jobs - 1)

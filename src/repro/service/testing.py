@@ -1,0 +1,198 @@
+"""Service/load test harness: an in-process server with a real client.
+
+:class:`ServiceFixture` boots a :class:`~repro.service.server.SweepService`
+on an ephemeral port inside a dedicated event-loop thread, hands out
+:class:`~repro.service.client.ServiceClient` instances (the same client
+scripts use — tests exercise the actual wire path, not handler
+internals), and exposes the hooks a deterministic service test needs:
+
+- :class:`FakeClock` — injectable monotonic time, so rate-limit
+  recovery is tested by *advancing* the clock, never by sleeping;
+- module-level stub runners (:func:`echo_runner`, :func:`slow_runner`)
+  that are picklable and accept real, validated sweep specs, so queue /
+  quota / cancellation behaviour is testable without paying for full
+  simulations;
+- :meth:`ServiceFixture.kill_worker` — SIGKILLs a live pool worker to
+  drive the ``BrokenProcessPool`` → typed-failure → pool-replacement
+  path, the service-level analogue of the repo's fault injection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.service.client import ServiceClient
+from repro.service.server import SweepService
+
+__all__ = ["FakeClock", "ServiceFixture", "echo_runner", "slow_runner",
+           "make_spec"]
+
+
+class FakeClock:
+    """A monotonic clock tests advance by hand."""
+
+    def __init__(self, start: float = 1000.0) -> None:
+        self._now = float(start)
+        self._lock = threading.Lock()
+
+    def __call__(self) -> float:
+        with self._lock:
+            return self._now
+
+    def advance(self, seconds: float) -> float:
+        with self._lock:
+            self._now += float(seconds)
+            return self._now
+
+
+def make_spec(seed: int = 0, ncores: int = 24, kind: str = "damaris",
+              preset: str = "grid5000", **extra: Any) -> Dict[str, Any]:
+    """A small, *valid* sweep spec; vary ``seed`` for distinct cache
+    keys, ``ncores`` for distinct stub runtimes. The default (one
+    24-core grid5000 node) is also runnable by the real engine, so the
+    same helper feeds both stub and end-to-end tests."""
+    spec: Dict[str, Any] = {"preset": preset, "ncores": ncores,
+                            "strategy": {"kind": kind}, "seed": seed,
+                            "write_phases": 1}
+    spec.update(extra)
+    return spec
+
+
+def echo_runner(spec: Dict[str, Any]) -> Dict[str, Any]:
+    """Instant stand-in for ``run_service_spec``: deterministic payload
+    derived from the spec, so cache/dedup behaviour is observable."""
+    return {
+        "summary": {"strategy": spec["strategy"]["kind"],
+                    "ncores": spec["ncores"],
+                    "seed": spec.get("seed", 42),
+                    "run_time": 1.0 + spec.get("seed", 42) * 0.1},
+        "counters": {"recomputes": 1.0},
+    }
+
+
+def slow_runner(spec: Dict[str, Any]) -> Dict[str, Any]:
+    """Like :func:`echo_runner` but sleeps ``ncores * 10 ms`` first —
+    a controllable window for cancellation and worker-kill tests."""
+    time.sleep(min(10.0, spec["ncores"] * 0.01))
+    return echo_runner(spec)
+
+
+class ServiceFixture:
+    """An in-process sweep service, started for one test.
+
+    Use as a context manager::
+
+        with ServiceFixture(runner=echo_runner, workers=2) as fx:
+            client = fx.client(tenant="alice")
+            job = client.submit([make_spec(seed=i) for i in range(4)])
+            client.wait(job["job_id"])
+
+    Constructor keywords pass straight to
+    :class:`~repro.service.server.SweepService`; the fixture adds the
+    thread/loop plumbing, ephemeral-port discovery and teardown (a full
+    ``stop()``: drain, join jobs, join pool workers).
+    """
+
+    def __init__(self, **service_kwargs: Any) -> None:
+        service_kwargs.setdefault("workers", 2)
+        self.service = SweepService(port=0, **service_kwargs)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    # -- lifecycle ------------------------------------------------------ #
+    def __enter__(self) -> "ServiceFixture":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    def start(self) -> None:
+        self._thread = threading.Thread(
+            target=self._thread_main, name="sweep-service", daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=30.0):
+            raise RuntimeError("service failed to start within 30 s")
+        if self._startup_error is not None:
+            raise RuntimeError("service failed to start") \
+                from self._startup_error
+
+    def _thread_main(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self.service.start())
+        except BaseException as exc:  # surfaced to start()
+            self._startup_error = exc
+            self._ready.set()
+            loop.close()
+            return
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+    def stop(self, timeout: float = 60.0) -> None:
+        """Full shutdown: drain, finish in-flight jobs, join workers."""
+        if self._loop is None or self._thread is None \
+                or not self._thread.is_alive():
+            return
+        self.run(self.service.stop(), timeout=timeout)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=timeout)
+
+    # -- helpers -------------------------------------------------------- #
+    def run(self, coro: Any, timeout: float = 60.0) -> Any:
+        """Run a coroutine on the service loop; return its result."""
+        assert self._loop is not None
+        future = asyncio.run_coroutine_threadsafe(coro, self._loop)
+        return future.result(timeout=timeout)
+
+    def client(self, tenant: Optional[str] = None,
+               timeout: float = 60.0) -> ServiceClient:
+        return ServiceClient(self.service.host, self.service.port,
+                             tenant=tenant, timeout=timeout)
+
+    def pool_pids(self) -> List[int]:
+        """PIDs of live compute-pool worker processes."""
+        pool = self.service._pool
+        if pool is None or not pool._processes:  # noqa: SLF001
+            return []
+        return [pid for pid, proc in pool._processes.items()
+                if proc.is_alive()]
+
+    def kill_worker(self, timeout: float = 30.0) -> int:
+        """SIGKILL one live pool worker; returns its pid.
+
+        Waits for a worker to exist first — the pool spawns processes
+        lazily on first submit.
+        """
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            pids = self.pool_pids()
+            if pids:
+                os.kill(pids[0], signal.SIGKILL)
+                return pids[0]
+            time.sleep(0.02)
+        raise RuntimeError("no live pool worker appeared to kill")
+
+    def wait_until(self, predicate: Callable[[], bool],
+                   timeout: float = 30.0, interval: float = 0.02) -> None:
+        """Poll ``predicate`` until true (wall-clock bounded)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if predicate():
+                return
+            time.sleep(interval)
+        raise TimeoutError("condition not reached within "
+                           f"{timeout:g} s")

@@ -108,7 +108,7 @@ def main(argv=None) -> int:
             print("--trace requires an output directory", file=sys.stderr)
             return 2
         del argv[at:at + 2]
-        # The sweep workers pick this up in figures._run_spec.
+        # The sweep workers pick this up in specs.run_spec.
         os.environ["REPRO_TRACE"] = trace_dir
     if "--solver" in argv:
         at = argv.index("--solver")

@@ -27,6 +27,7 @@ class TestExamples:
         assert "client-visible I/O time" in result.stdout
         assert "read back" in result.stdout
 
+    @pytest.mark.slow
     def test_tornado_simulation(self):
         result = run_example("tornado_simulation.py")
         assert result.returncode == 0, result.stderr

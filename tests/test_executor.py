@@ -314,3 +314,77 @@ class TestDriverDeterminism:
         assert store.totals()["misses"] == 8
         # fast mode runs 1 write phase, full mode 2: results must differ.
         assert repr(fast.rows) != repr(full.rows)
+
+
+class TestSweepProgress:
+    """Regression: cache hits and pool results feed one accounting path,
+    so progress events are strictly monotonic however tasks resolve."""
+
+    def _run(self, tasks, **kwargs):
+        events = []
+        results = run_sweep(tasks, progress=events.append, **kwargs)
+        return results, events
+
+    def _assert_single_path(self, events, total):
+        # one event per finished task, `done` strictly monotonic from 1,
+        # and the per-source counters always reconcile with `done`
+        assert [e.done for e in events] == list(range(1, total + 1))
+        for e in events:
+            assert e.hits + e.computed == e.done
+            assert e.total == total
+            assert e.source in ("cache", "pool", "serial")
+        assert sorted(e.index for e in events) == list(range(total))
+
+    def test_progress_serial_no_cache(self):
+        tasks = [SweepTask(_square, (i,)) for i in range(5)]
+        results, events = self._run(tasks, parallel=1, cache=False)
+        assert results == [i * i for i in range(5)]
+        self._assert_single_path(events, 5)
+        assert all(e.source == "serial" for e in events)
+        assert events[-1].hits == 0 and events[-1].computed == 5
+
+    def test_progress_parallel_no_cache(self):
+        tasks = [SweepTask(_square, (i,)) for i in range(6)]
+        results, events = self._run(tasks, parallel=2, cache=False)
+        assert results == [i * i for i in range(6)]
+        self._assert_single_path(events, 6)
+        assert all(e.source == "pool" for e in events)
+
+    def test_progress_mixed_hits_and_misses(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "store"))
+        warm = [SweepTask(_square, (i,), label=f"t{i}") for i in range(3)]
+        self._run(warm, parallel=1, cache=cache)
+        # 3 cached + 3 cold tasks: hits emit during partition, misses
+        # stream from the pool — both through the same counter
+        mixed = [SweepTask(_square, (i,), label=f"t{i}") for i in range(6)]
+        results, events = self._run(mixed, parallel=2, cache=cache)
+        assert results == [i * i for i in range(6)]
+        self._assert_single_path(events, 6)
+        assert events[-1].hits == 3 and events[-1].computed == 3
+        # the three hits are emitted first (admission-time short-circuit)
+        assert [e.source for e in events[:3]] == ["cache"] * 3
+        assert {e.source for e in events[3:]} == {"pool"}
+        assert [e.label for e in events[:3]] == ["t0", "t1", "t2"]
+
+    def test_progress_all_hits_never_touches_pool(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "store"))
+        tasks = [SweepTask(_square, (i,)) for i in range(4)]
+        self._run(tasks, parallel=1, cache=cache)
+        results, events = self._run(
+            [SweepTask(_square, (i,)) for i in range(4)],
+            parallel=4, cache=cache)
+        assert results == [i * i for i in range(4)]
+        self._assert_single_path(events, 4)
+        assert all(e.source == "cache" for e in events)
+
+    def test_progress_counts_uncacheable_bypasses(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "store"))
+        # an uncacheable argument (a set) cannot key the store: it must
+        # still be counted exactly once, as computed work
+        tasks = [SweepTask(_type_name, ({1, 2},)),
+                 SweepTask(_square, (3,))]
+        results, events = self._run(tasks, parallel=1, cache=cache)
+        assert results == ["set", 9]
+        self._assert_single_path(events, 2)
+        assert events[-1].computed == 2
+        assert cache.stats.bypasses == 1

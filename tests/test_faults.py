@@ -24,7 +24,8 @@ import pytest
 from repro.cache import ResultCache
 from repro.errors import ReproError
 from repro.experiments.executor import SweepTask, run_sweep
-from repro.experiments.figures import _run_spec, default_fault_schedule
+from repro.experiments.figures import default_fault_schedule
+from repro.experiments.specs import run_spec
 from repro.experiments.harness import run_experiment
 from repro.experiments.platforms import kraken_preset
 from repro.faults import (
@@ -298,9 +299,9 @@ class TestDeterminism:
 
     def test_serial_matches_parallel(self, monkeypatch):
         monkeypatch.delenv("REPRO_TRACE", raising=False)
-        tasks = [SweepTask(_run_spec, (spec,)) for spec in self._specs()]
+        tasks = [SweepTask(run_spec, (spec,)) for spec in self._specs()]
         serial = run_sweep(tasks, parallel=1, cache=False)
-        tasks = [SweepTask(_run_spec, (spec,)) for spec in self._specs()]
+        tasks = [SweepTask(run_spec, (spec,)) for spec in self._specs()]
         fanned = run_sweep(tasks, parallel=2, cache=False)
         assert [self._digest(r) for r in serial] \
             == [self._digest(r) for r in fanned]
@@ -309,10 +310,10 @@ class TestDeterminism:
             self, tmp_path, monkeypatch):
         monkeypatch.delenv("REPRO_TRACE", raising=False)
         cache = ResultCache(str(tmp_path / "cache"), fingerprint="fp")
-        tasks = [SweepTask(_run_spec, (spec,)) for spec in self._specs()]
+        tasks = [SweepTask(run_spec, (spec,)) for spec in self._specs()]
         cold = run_sweep(tasks, parallel=1, cache=cache)
         assert cache.stats.misses == len(tasks)
-        tasks = [SweepTask(_run_spec, (spec,)) for spec in self._specs()]
+        tasks = [SweepTask(run_spec, (spec,)) for spec in self._specs()]
         warm = run_sweep(tasks, parallel=1, cache=cache)
         assert cache.stats.hits == len(tasks)
         assert [self._digest(r) for r in cold] \
@@ -321,7 +322,7 @@ class TestDeterminism:
         changed = self._specs()[0]
         changed["faults"]["faults"][0]["time"] = 226.0
         misses_before = cache.stats.misses
-        run_sweep([SweepTask(_run_spec, (changed,))], parallel=1,
+        run_sweep([SweepTask(run_spec, (changed,))], parallel=1,
                   cache=cache)
         assert cache.stats.misses == misses_before + 1
 

@@ -13,8 +13,8 @@ from dataclasses import replace
 import pytest
 
 from repro.errors import ReproError
-from repro.experiments import figures
 from repro.experiments.harness import run_experiment
+from repro.experiments.specs import run_spec
 from repro.experiments.platforms import grid5000_preset
 from repro.observe import (
     NULL_TRACER,
@@ -230,7 +230,7 @@ class TestOverlapAcceptance:
 class TestFigureTraceFlag:
     def test_run_spec_dumps_trace_when_env_set(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_TRACE", str(tmp_path))
-        figures._run_spec({
+        run_spec({
             "preset": "grid5000", "ncores": 48,
             "strategy": {"kind": "damaris"}, "seed": 1,
             "write_phases": 1, "trace_label": "test/grid5000/48/damaris",
@@ -244,7 +244,7 @@ class TestFigureTraceFlag:
 
     def test_run_spec_untraced_without_env(self, tmp_path, monkeypatch):
         monkeypatch.delenv("REPRO_TRACE", raising=False)
-        figures._run_spec({
+        run_spec({
             "preset": "grid5000", "ncores": 48,
             "strategy": {"kind": "noio"}, "seed": 1, "write_phases": 1,
         })

@@ -263,12 +263,12 @@ def test_machine_solver_passthrough():
 
 
 def test_solver_mode_folded_into_cache_context(monkeypatch):
-    from repro.experiments.executor import _env_mode_context
+    from repro.experiments.executor import env_mode_context
 
     monkeypatch.delenv("REPRO_SOLVER", raising=False)
-    assert _env_mode_context()["repro_solver"] == SOLVER_COMPONENT
+    assert env_mode_context()["repro_solver"] == SOLVER_COMPONENT
     monkeypatch.setenv("REPRO_SOLVER", "global")
-    assert _env_mode_context()["repro_solver"] == SOLVER_GLOBAL
+    assert env_mode_context()["repro_solver"] == SOLVER_GLOBAL
 
 
 # ---------------------------------------------------------------------- #
