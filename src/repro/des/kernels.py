@@ -62,6 +62,7 @@ __all__ = [
     "MaxminKernel",
     "compiled_kernel",
     "kernel_status",
+    "maxmin_class_solve_np",
     "maxmin_class_solve_py",
     "resolve_kernel",
 ]
@@ -386,6 +387,85 @@ def _load_c_solver() -> Callable:
         _F64, _F64,                        # rate_out, cap_used_out
     ]
     return fn
+
+
+# --------------------------------------------------------------------- #
+# the vectorised numpy solve (the ``python`` kernel, callable standalone)
+# --------------------------------------------------------------------- #
+def maxmin_class_solve_np(flow_class: np.ndarray, class_res: np.ndarray,
+                          class_cap: np.ndarray, capacities: np.ndarray,
+                          fairness_slack: float
+                          ) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorised flow-class water-filling over an explicit class table.
+
+    The body of ``FlowNetwork._maxmin_rates``'s class path, factored out
+    so callers that hold their own packed tables — shard workers solving
+    a sub-network, the sharded solver's reconciliation loop — run the
+    exact same floating-point operation sequence as an in-network solve.
+    Returns ``(rate, cap_used)`` like :meth:`MaxminKernel.solve`.
+    """
+    nres = capacities.size
+    batch = 1.0 + fairness_slack + 1e-12
+
+    present, inverse, mult = np.unique(
+        flow_class, return_inverse=True, return_counts=True)
+    cres = class_res[present]                 # (C, K)
+    cvalid = cres >= 0                        # (C, K)
+    cres_clipped = np.where(cvalid, cres, 0)  # (C, K)
+    ccaps = class_cap[present]                # (C,)
+    cmult = mult.astype(float)                # (C,)
+    nclasses = present.size
+    kmax = class_res.shape[1]
+
+    crate = np.zeros(nclasses, dtype=float)
+    cfrozen = np.zeros(nclasses, dtype=bool)
+    cap_rem = capacities.astype(float).copy()
+    # Round-invariant buffers, hoisted out of the freeze loop.
+    counts = np.empty(nres, dtype=float)
+    share = np.empty(nres, dtype=float)
+    consumed = np.empty(nres, dtype=float)
+
+    for _ in range(nclasses + nres + 1):
+        unfrozen = ~cfrozen
+        if not unfrozen.any():
+            break
+        live_valid = cvalid[unfrozen]
+        members = cres[unfrozen][live_valid]
+        if members.size == 0:
+            # Remaining flows touch no capacity: bounded by caps only.
+            crate[unfrozen] = ccaps[unfrozen]
+            break
+        weights = np.broadcast_to(
+            cmult[unfrozen, None], live_valid.shape)[live_valid]
+        counts.fill(0.0)
+        np.add.at(counts, members, weights)
+        used = counts > 0
+        share.fill(np.inf)
+        share[used] = np.maximum(cap_rem[used], 0.0) / counts[used]
+        # Per-class candidate: min share across its resources, then cap.
+        class_share = np.where(cvalid, share[cres_clipped], np.inf)
+        candidate = np.minimum(class_share.min(axis=1), ccaps)
+        s_star = float(candidate[unfrozen].min())
+
+        freeze = unfrozen & (candidate <= s_star * batch)
+        crate[freeze] = candidate[freeze]
+        cfrozen[freeze] = True
+        # Scatter consumption per flow, in ascending slot order, so the
+        # floating-point accumulation matches the per-flow solve.
+        rows = inverse[freeze[inverse]]       # class row per frozen flow
+        consumed.fill(0.0)
+        flat_rate = np.repeat(candidate[rows], kmax)
+        flat_res = cres_clipped[rows].ravel()
+        flat_valid = cvalid[rows].ravel()
+        np.add.at(consumed, flat_res[flat_valid], flat_rate[flat_valid])
+        cap_rem -= consumed
+
+    rate = crate[inverse]
+    # Numerical safety: every active flow must make progress.
+    np.maximum(rate, 1e-12, out=rate)
+    # The residual capacities double as the consumed-bandwidth table
+    # for the incremental-arrival fast path.
+    return rate, capacities - cap_rem
 
 
 # --------------------------------------------------------------------- #

@@ -1,0 +1,289 @@
+"""Min-cut partitioning of the resource-contention graph.
+
+The component-partitioned solver (:mod:`repro.des.bandwidth`) exploits
+*exact* independence: resource-disjoint components of the contention
+graph cannot affect each other's max-min rates. Damaris-style shared-OST
+topologies routinely defeat it — a handful of thin cross-group flows
+(striping spill-over, metadata traffic, inter-tier migration) fuse
+thousands of otherwise independent (NIC, OST) groups into one giant
+*weakly coupled* component that every freeze round must then solve as a
+whole. This module provides the partitioning pass behind
+``REPRO_SOLVER=sharded``: split such a component's *resources* into K
+balanced shards so that the bandwidth that can cross between shards is
+tiny, solve the shards independently, and reconcile the few cut flows.
+
+The algorithm is the classic multilevel heuristic in miniature:
+
+1. **Greedy coarsening** — repeated heavy-edge matching collapses
+   strongly coupled resource pairs into supernodes until the graph is
+   small, so the initial split is decided on the cluster structure, not
+   on individual resources;
+2. **balanced greedy initial partition** of the coarsest graph (nodes in
+   descending weight order go to the most-connected part that still has
+   room, capacity-weighted);
+3. **Kernighan–Lin-style local search** at every uncoarsening level:
+   boundary nodes move to the neighbouring part with the largest cut
+   reduction, subject to the balance ceiling, until a pass makes no
+   move.
+
+Everything is deterministic — node order, stable sorts and strict-gain
+moves only — because shard layouts feed a solver whose results must be
+reproducible run to run. Weights are *capacities* (bytes/s) on nodes
+(balance objective) and *couplings* (the bandwidth a flow class could
+pull across the edge) on edges (min-cut objective), matching the
+Hess-style "minimize cut edges, balance district weight" formulation of
+the political-districting literature this pass is modelled on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = ["PartitionResult", "cut_weight", "partition_graph"]
+
+#: Stop coarsening once the graph is this small (times k); the greedy
+#: initial split plus refinement handle the rest.
+_COARSEN_STOP_FACTOR = 4
+#: Never coarsen below this many nodes regardless of k.
+_COARSEN_STOP_MIN = 32
+#: Refinement passes per level; each pass is O(E), and the local search
+#: almost always converges in two.
+_DEFAULT_PASSES = 4
+
+
+@dataclass(frozen=True)
+class PartitionResult:
+    """A computed K-way split of a weighted graph."""
+
+    #: Part id (``0..k-1``) per node.
+    labels: np.ndarray
+    #: Requested part count (some parts may be empty on degenerate input).
+    k: int
+    #: Total weight of edges whose endpoints land in different parts.
+    cut_weight: float
+    #: ``max(part weight) / ideal part weight`` (1.0 = perfectly balanced).
+    imbalance: float
+    #: Coarsening levels built before the initial split.
+    levels: int
+    #: Local-search moves applied across all refinement passes.
+    moves: int
+
+
+def cut_weight(labels: np.ndarray, edge_u: np.ndarray, edge_v: np.ndarray,
+               edge_w: np.ndarray) -> float:
+    """Total weight of edges crossing the partition."""
+    if len(edge_u) == 0:
+        return 0.0
+    cut = labels[edge_u] != labels[edge_v]
+    return float(np.asarray(edge_w)[cut].sum())
+
+
+def _aggregate_edges(n: int, u: np.ndarray, v: np.ndarray,
+                     w: np.ndarray) -> Tuple[np.ndarray, np.ndarray,
+                                             np.ndarray]:
+    """Normalise to ``u < v``, drop self-loops, sum parallel edges."""
+    lo = np.minimum(u, v)
+    hi = np.maximum(u, v)
+    keep = lo != hi
+    lo, hi, w = lo[keep], hi[keep], w[keep]
+    if lo.size == 0:
+        return lo, hi, w
+    key = lo * np.int64(n) + hi
+    order = np.argsort(key, kind="stable")
+    key, lo, hi, w = key[order], lo[order], hi[order], w[order]
+    _uniq, start = np.unique(key, return_index=True)
+    return lo[start], hi[start], np.add.reduceat(w, start)
+
+
+def _adjacency(n: int, u: np.ndarray, v: np.ndarray,
+               w: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """CSR adjacency (both directions) of an undirected edge list."""
+    du = np.concatenate([u, v])
+    dv = np.concatenate([v, u])
+    dw = np.concatenate([w, w])
+    order = np.argsort(du, kind="stable")
+    du, dv, dw = du[order], dv[order], dw[order]
+    indptr = np.searchsorted(du, np.arange(n + 1))
+    return indptr, dv, dw
+
+
+def _heavy_edge_matching(n: int, u: np.ndarray, v: np.ndarray,
+                         w: np.ndarray) -> Tuple[np.ndarray, int]:
+    """Match each node with its heaviest still-unmatched neighbour.
+
+    Returns (coarse id per node, coarse node count). Unmatched nodes
+    become singleton supernodes; coarse ids are assigned in ascending
+    fine-node order so the mapping is deterministic.
+    """
+    order = np.argsort(-w, kind="stable")
+    mate = np.full(n, -1, dtype=np.int64)
+    us, vs = u[order], v[order]
+    for a, b in zip(us.tolist(), vs.tolist()):
+        if mate[a] < 0 and mate[b] < 0:
+            mate[a] = b
+            mate[b] = a
+    coarse = np.full(n, -1, dtype=np.int64)
+    nxt = 0
+    for a in range(n):
+        if coarse[a] >= 0:
+            continue
+        coarse[a] = nxt
+        b = mate[a]
+        if b >= 0:
+            coarse[b] = nxt
+        nxt += 1
+    return coarse, nxt
+
+
+def _greedy_initial(n: int, node_w: np.ndarray, indptr: np.ndarray,
+                    adj: np.ndarray, adj_w: np.ndarray, k: int,
+                    ceiling: float) -> np.ndarray:
+    """Assign nodes (descending weight) to their most-connected part
+    with room; fall back to the lightest part when none has room."""
+    labels = np.full(n, -1, dtype=np.int64)
+    part_w = np.zeros(k, dtype=float)
+    conn = np.empty(k, dtype=float)
+    for a in np.argsort(-node_w, kind="stable").tolist():
+        conn.fill(0.0)
+        for e in range(indptr[a], indptr[a + 1]):
+            lb = labels[adj[e]]
+            if lb >= 0:
+                conn[lb] += adj_w[e]
+        best, best_score = -1, -np.inf
+        for p in range(k):
+            if part_w[p] + node_w[a] > ceiling:
+                continue
+            # Prefer connectivity; break ties toward the lighter part.
+            score = conn[p] - 1e-12 * part_w[p]
+            if score > best_score:
+                best, best_score = p, score
+        if best < 0:
+            best = int(np.argmin(part_w))
+        labels[a] = best
+        part_w[best] += node_w[a]
+    return labels
+
+
+def _refine(n: int, node_w: np.ndarray, indptr: np.ndarray,
+            adj: np.ndarray, adj_w: np.ndarray, labels: np.ndarray,
+            k: int, ceiling: float, passes: int) -> int:
+    """KL-style local search: move boundary nodes to the adjacent part
+    with the largest strictly positive cut-weight gain, respecting the
+    balance ceiling. Returns the number of moves applied."""
+    part_w = np.bincount(labels, weights=node_w, minlength=k)
+    conn = np.empty(k, dtype=float)
+    moves = 0
+    for _ in range(passes):
+        moved = False
+        for a in range(n):
+            s, e = indptr[a], indptr[a + 1]
+            if s == e:
+                continue
+            la = labels[a]
+            conn.fill(0.0)
+            boundary = False
+            for i in range(s, e):
+                lb = labels[adj[i]]
+                conn[lb] += adj_w[i]
+                if lb != la:
+                    boundary = True
+            if not boundary:
+                continue
+            wa = node_w[a]
+            best, best_gain = la, 0.0
+            for p in range(k):
+                if p == la or part_w[p] + wa > ceiling:
+                    continue
+                gain = conn[p] - conn[la]
+                if gain > best_gain + 1e-12 * (1.0 + abs(best_gain)):
+                    best, best_gain = p, gain
+            if best != la:
+                part_w[la] -= wa
+                part_w[best] += wa
+                labels[a] = best
+                moved = True
+                moves += 1
+        if not moved:
+            break
+    return moves
+
+
+def partition_graph(node_weight: np.ndarray, edge_u: np.ndarray,
+                    edge_v: np.ndarray, edge_w: np.ndarray, k: int,
+                    balance_tol: float = 0.25,
+                    passes: int = _DEFAULT_PASSES) -> PartitionResult:
+    """Split a weighted undirected graph into ``k`` balanced parts.
+
+    ``node_weight`` is the balance objective (a part's weight is the sum
+    of its nodes'); ``edge_w`` is the min-cut objective. Every part's
+    weight is pushed toward ``total / k`` with a relative headroom of
+    ``balance_tol``. Deterministic for identical inputs.
+    """
+    node_weight = np.asarray(node_weight, dtype=float)
+    n = node_weight.size
+    k = int(k)
+    if k < 1:
+        raise ValueError(f"need k >= 1 parts, got {k}")
+    edge_u = np.asarray(edge_u, dtype=np.int64)
+    edge_v = np.asarray(edge_v, dtype=np.int64)
+    edge_w = np.asarray(edge_w, dtype=float)
+    if k == 1 or n <= 1:
+        labels = np.zeros(n, dtype=np.int64)
+        return PartitionResult(labels, k,
+                               cut_weight(labels, edge_u, edge_v, edge_w),
+                               1.0 if n else 0.0, 0, 0)
+    if n <= k:
+        labels = np.arange(n, dtype=np.int64)
+        return PartitionResult(labels, k, cut_weight(labels, edge_u, edge_v,
+                                                     edge_w),
+                               _imbalance(labels, node_weight, k), 0, 0)
+
+    u, v, w = _aggregate_edges(n, edge_u, edge_v, edge_w)
+    total = float(node_weight.sum())
+    ceiling = (total / k) * (1.0 + balance_tol)
+    # The initial split packs toward the *ideal* weight: if greedy used
+    # the full ceiling, every part could arrive at refinement already
+    # full, leaving the local search no room for any improving move.
+    greedy_ceiling = total / k
+
+    # -- coarsen -------------------------------------------------------- #
+    graphs: List[Tuple[int, np.ndarray, np.ndarray, np.ndarray,
+                       np.ndarray]] = [(n, node_weight, u, v, w)]
+    mappings: List[np.ndarray] = []
+    stop = max(_COARSEN_STOP_FACTOR * k, _COARSEN_STOP_MIN)
+    while graphs[-1][0] > stop:
+        cn, cw, cu, cv, cew = graphs[-1]
+        coarse, nc = _heavy_edge_matching(cn, cu, cv, cew)
+        if nc >= cn:  # no edge matched: coarsening cannot make progress
+            break
+        nw2 = np.bincount(coarse, weights=cw, minlength=nc)
+        u2, v2, w2 = _aggregate_edges(nc, coarse[cu], coarse[cv], cew)
+        mappings.append(coarse)
+        graphs.append((nc, nw2, u2, v2, w2))
+
+    # -- initial split on the coarsest graph ---------------------------- #
+    cn, cw, cu, cv, cew = graphs[-1]
+    indptr, adj, adj_w = _adjacency(cn, cu, cv, cew)
+    labels = _greedy_initial(cn, cw, indptr, adj, adj_w, k, greedy_ceiling)
+    moves = _refine(cn, cw, indptr, adj, adj_w, labels, k, ceiling, passes)
+
+    # -- uncoarsen + refine each level ---------------------------------- #
+    for level in range(len(mappings) - 1, -1, -1):
+        labels = labels[mappings[level]]
+        fn, fw, fu, fv, few = graphs[level]
+        indptr, adj, adj_w = _adjacency(fn, fu, fv, few)
+        moves += _refine(fn, fw, indptr, adj, adj_w, labels, k, ceiling,
+                         passes)
+
+    return PartitionResult(
+        labels, k, cut_weight(labels, u, v, w),
+        _imbalance(labels, node_weight, k), len(mappings), moves)
+
+
+def _imbalance(labels: np.ndarray, node_weight: np.ndarray, k: int) -> float:
+    part_w = np.bincount(labels, weights=node_weight, minlength=k)
+    ideal = node_weight.sum() / k
+    return float(part_w.max() / ideal) if ideal > 0 else 0.0

@@ -150,11 +150,15 @@ def env_mode_context() -> Dict[str, Any]:
     from repro.des.bandwidth import _resolve_solver
     from repro.des.kernels import resolve_kernel
     from repro.des.sched import resolve_scheduler
+    from repro.des.shards import resolve_shards
 
     fast = os.environ.get("REPRO_FAST", "") not in ("", "0", "false")
     return {"repro_fast": fast, "repro_solver": _resolve_solver(None),
             "repro_kernel": resolve_kernel(None),
-            "repro_scheduler": resolve_scheduler(None)}
+            "repro_scheduler": resolve_scheduler(None),
+            # The shard count changes (slack-bounded) sharded-solver
+            # results, so it must partition the cache like the solver.
+            "repro_shards": resolve_shards(None)}
 
 
 def _resolve_cache(cache: Union[ResultCache, None, bool],

@@ -11,6 +11,7 @@ Usage::
     python -m repro.tools.figures --cache all         # reuse cached points
     python -m repro.tools.figures --cache --cache-dir /tmp/c fig4
     python -m repro.tools.figures --solver global fig2   # debug escape hatch
+    python -m repro.tools.figures --solver sharded --shards 8 fig4
     python -m repro.tools.figures --kernel compiled fig4  # compiled solve
     python -m repro.tools.figures --scheduler heap fig2   # binary-heap queue
     python -m repro.tools.figures faults                  # fault degradation
@@ -33,14 +34,17 @@ forces caching off regardless of the environment. Inspect and maintain
 the store with ``python -m repro.tools.cachectl``. A ``--trace`` run
 bypasses the cache (trace files are a side effect a hit would skip).
 
-``--solver component|global`` (or ``REPRO_SOLVER``) picks the
+``--solver component|global|sharded`` (or ``REPRO_SOLVER``) picks the
 bandwidth-share recomputation strategy: ``component`` (the default)
 re-solves only the connected components of the resource-contention
 graph touched since the last solve; ``global`` re-solves the whole
 network every time — slower, but the reference behaviour to diff
-against when debugging (bit-identical at ``fairness_slack=0``). The
-mode is folded into cache keys, so cached points never leak across
-solvers.
+against when debugging (bit-identical at ``fairness_slack=0``);
+``sharded`` additionally min-cut-partitions oversized weakly coupled
+components into ``--shards N`` sub-networks (``REPRO_SHARDS``, default
+4) solved independently, with the cut reconciled to within
+``fairness_slack``. The mode and the shard count are folded into cache
+keys, so cached points never leak across solvers.
 
 ``--kernel compiled|python`` (or ``REPRO_KERNEL``) picks the
 water-filling implementation: ``python`` (the default) is the numpy
@@ -115,16 +119,32 @@ def main(argv=None) -> int:
         try:
             solver = argv[at + 1]
         except IndexError:
-            print("--solver requires a mode (component|global)",
+            print("--solver requires a mode (component|global|sharded)",
                   file=sys.stderr)
             return 2
-        if solver not in ("component", "global"):
-            print(f"--solver must be 'component' or 'global', got {solver!r}",
-                  file=sys.stderr)
+        if solver not in ("component", "global", "sharded"):
+            print(f"--solver must be 'component', 'global' or 'sharded', "
+                  f"got {solver!r}", file=sys.stderr)
             return 2
         del argv[at:at + 2]
         # FlowNetwork reads this when each sweep worker builds its machine.
         os.environ["REPRO_SOLVER"] = solver
+    if "--shards" in argv:
+        at = argv.index("--shards")
+        try:
+            shards = int(argv[at + 1])
+        except (IndexError, ValueError):
+            print("--shards requires an integer shard count",
+                  file=sys.stderr)
+            return 2
+        if shards < 1:
+            print(f"--shards must be >= 1, got {shards}", file=sys.stderr)
+            return 2
+        del argv[at:at + 2]
+        # FlowNetwork reads this when each sweep worker builds its
+        # machine; only the sharded solver acts on it, but it is always
+        # folded into cache keys (it changes sharded results).
+        os.environ["REPRO_SHARDS"] = str(shards)
     if "--kernel" in argv:
         at = argv.index("--kernel")
         try:

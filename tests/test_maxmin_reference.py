@@ -6,7 +6,9 @@ rate caps — the textbook algorithm, no numpy, no equivalence classes.
 The property suite asserts that ``FlowNetwork._maxmin_rates`` (which
 dispatches between a per-flow solve, a flow-class solve, and the
 compiled kernel) matches it at ``fairness_slack=0`` on randomized flow
-sets — parametrized over both solvers and both kernels — and that the
+sets — parametrized over all three solvers and both kernels (the
+sharded solver never partitions at zero slack, so it must match the
+reference exactly) — and that the
 standard max-min invariants hold: capacity conservation, per-flow caps
 respected, and work conservation (every flow is limited by its cap or
 by a saturated resource).
@@ -103,7 +105,7 @@ def random_flow_set(rng, allow_duplicates):
 
 
 @pytest.mark.parametrize("kernel", KERNELS)
-@pytest.mark.parametrize("solver", ["component", "global"])
+@pytest.mark.parametrize("solver", ["component", "global", "sharded"])
 @pytest.mark.parametrize("seed", range(20))
 @pytest.mark.parametrize("allow_duplicates", [False, True],
                          ids=["distinct", "duplicated"])
