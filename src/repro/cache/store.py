@@ -59,6 +59,10 @@ _DEFAULT_MAX_BYTES = 2 << 30
 
 _STAT_KEYS = ("hits", "misses", "bypasses", "writes", "corrupt", "evicted")
 
+#: Distinguishes "no context override" from an explicit ``context=None``
+#: in :meth:`ResultCache.key_for` (``None`` is a meaningful context).
+_UNSET_CONTEXT = object()
+
 
 @dataclass
 class CacheStats:
@@ -168,11 +172,20 @@ class ResultCache:
     # ------------------------------------------------------------------ #
     # keys
     # ------------------------------------------------------------------ #
-    def key_for(self, fn, args, kwargs) -> Optional[str]:
-        """The task's content address, or ``None`` when uncacheable."""
+    def key_for(self, fn, args, kwargs,
+                context: Any = _UNSET_CONTEXT) -> Optional[str]:
+        """The task's content address, or ``None`` when uncacheable.
+
+        ``context`` overrides the store's own ``self.context`` for this
+        one key without mutating it — the executor passes the current
+        run-mode context here on every sweep, so a long-lived store can
+        serve runs whose environment modes changed since it was built.
+        """
+        if context is _UNSET_CONTEXT:
+            context = self.context
         try:
             return task_key(fn, tuple(args), dict(kwargs),
-                            self.fingerprint, context=self.context)
+                            self.fingerprint, context=context)
         except UncacheableArgument:
             return None
 

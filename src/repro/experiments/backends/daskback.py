@@ -1,0 +1,113 @@
+"""Optional Dask backend: the same interface over ``distributed``.
+
+This module imports lazily and degrades loudly: the package installs
+with ``pip install -e .[dask]`` and the backend raises a clear
+:class:`~repro.experiments.backends.base.BackendError` when
+``distributed`` is missing, so the stdlib-only core never grows a hard
+dependency. The integration pattern follows the modelops conftest
+shape: connect to an external scheduler when an address is given
+(``address=`` or ``REPRO_DASK_SCHEDULER``), otherwise spin up a local
+``LocalCluster`` sized like the process backend.
+
+Scheduling niceties (straggler speculation, fingerprint handshakes)
+are Dask's own business here — the cluster operator already controls
+worker provenance — so this backend is deliberately thin: submit one
+future per task, stream with ``as_completed``, and let the executor's
+index-keyed reassembly provide bit-identity exactly as it does for
+every other backend.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Iterator, Optional, Sequence, Tuple
+
+from repro.experiments.backends.base import Backend, BackendError, TaskOutcome
+
+__all__ = ["DaskBackend", "dask_available"]
+
+
+def dask_available() -> bool:
+    """True when ``distributed`` is importable (``repro[dask]``)."""
+    try:
+        import distributed  # noqa: F401
+    except Exception:
+        return False
+    return True
+
+
+def _run_one(task: Any) -> Tuple[Any, float]:
+    start = time.perf_counter()
+    value = task.run()
+    return value, time.perf_counter() - start
+
+
+class DaskBackend(Backend):
+    """Submit sweep tasks to a Dask ``distributed`` cluster.
+
+    ``address=None`` checks ``REPRO_DASK_SCHEDULER``; with neither set
+    a throwaway local cluster is created (and torn down in
+    :meth:`close`). ``workers`` sizes the local cluster only.
+    """
+
+    name = "dask"
+
+    def __init__(self, address: Optional[str] = None, *,
+                 workers: Optional[int] = None) -> None:
+        super().__init__()
+        if not dask_available():
+            raise BackendError(
+                "the dask backend needs the 'distributed' package: "
+                "install with `pip install -e .[dask]` or pick another "
+                "backend (serial/process/remote are stdlib-only)")
+        self.address = address or os.environ.get("REPRO_DASK_SCHEDULER") \
+            or None
+        self.workers = workers
+        self._client = None
+        self._cluster = None
+
+    @property
+    def client(self):
+        """The live ``distributed.Client``, created on first use."""
+        if self._client is None:
+            from distributed import Client, LocalCluster
+            if self.address:
+                self._client = Client(self.address)
+            else:
+                self._cluster = LocalCluster(
+                    n_workers=self.workers or os.cpu_count() or 1,
+                    threads_per_worker=1, processes=True,
+                    dashboard_address=None)
+                self._client = Client(self._cluster)
+        return self._client
+
+    def run_tasks(self, tasks: Sequence[Tuple[int, Any]]
+                  ) -> Iterator[TaskOutcome]:
+        from distributed import as_completed
+        tasks = list(tasks)
+        if not tasks:
+            return
+        client = self.client
+        futures = {}
+        for index, task in tasks:
+            self.counters_.dispatched += 1
+            future = client.submit(_run_one, task, pure=False)
+            futures[future] = index
+        for future in as_completed(list(futures)):
+            index = futures[future]
+            value, duration = future.result()
+            workers = client.who_has(future).get(future.key, ())
+            worker = f"dask/{next(iter(workers), '?')}"
+            self.counters_.completed += 1
+            self.counters_.workers[worker] = \
+                self.counters_.workers.get(worker, 0) + 1
+            yield TaskOutcome(index, value, worker, duration)
+
+    def close(self) -> None:
+        client, self._client = self._client, None
+        cluster, self._cluster = self._cluster, None
+        if client is not None:
+            client.close()
+        if cluster is not None:
+            cluster.close()

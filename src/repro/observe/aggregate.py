@@ -15,6 +15,7 @@ from repro.observe.tracer import Span, Tracer
 
 __all__ = [
     "aggregate_spans",
+    "backend_table",
     "per_actor_table",
     "per_category_table",
     "per_target_table",
@@ -144,6 +145,37 @@ def sched_table(tracer: Tracer) -> List[Dict[str, object]]:
     return rows
 
 
+def backend_table(tracer: Tracer) -> List[Dict[str, object]]:
+    """One row per sweep backend with its summed dispatch counters.
+
+    :func:`~repro.experiments.executor.run_sweep` records one
+    ``backend`` event per traced sweep whose attributes are that
+    sweep's totals; unlike solver/sched counters these are per-event
+    (not cumulative per actor), so rows *sum* over a backend's events —
+    ``requeued``/``speculative``/``discarded`` expose what the remote
+    coordinator's crash recovery and straggler re-dispatch did.
+    """
+    groups: Dict[str, List[object]] = {}
+    for event in tracer.events_in("backend"):
+        groups.setdefault(event.actor, []).append(event)
+    rows = []
+    for actor in sorted(groups):
+        events = groups[actor]
+        row: Dict[str, object] = {"backend": actor,
+                                  "sweeps": len(events)}
+        for name in ("total", "hits", "computed", "dispatched",
+                     "completed", "requeued", "speculative", "discarded",
+                     "rejected", "crashed"):
+            row[name] = int(sum(
+                float(event.attrs.get(name, 0)) for event in events))
+        workers = max(
+            (int(float(event.attrs.get("workers", 0))) for event in events),
+            default=0)
+        row["workers"] = workers
+        rows.append(row)
+    return rows
+
+
 # ---------------------------------------------------------------------- #
 # interval arithmetic
 # ---------------------------------------------------------------------- #
@@ -207,6 +239,9 @@ def render_summary(tracer: Tracer) -> str:
     by_sched = sched_table(tracer)
     if by_sched:
         parts += ["", "-- event scheduler --", render_table(by_sched)]
+    by_backend = backend_table(tracer)
+    if by_backend:
+        parts += ["", "-- sweep backend --", render_table(by_backend)]
     persists = tracer.spans_in("persist")
     phases = tracer.spans_in("write_phase")
     if persists and phases:

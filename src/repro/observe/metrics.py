@@ -17,7 +17,8 @@ from typing import Dict
 
 from repro.observe.tracer import Tracer
 
-__all__ = ["SOLVER_COUNTERS", "SCHED_COUNTERS", "trace_counters"]
+__all__ = ["BACKEND_COUNTERS", "SOLVER_COUNTERS", "SCHED_COUNTERS",
+           "trace_counters"]
 
 #: Solver-event attributes exported as counters (cumulative per actor).
 SOLVER_COUNTERS = ("recomputes", "full_solves", "component_solves",
@@ -25,6 +26,12 @@ SOLVER_COUNTERS = ("recomputes", "full_solves", "component_solves",
 
 #: Scheduler-event attributes exported as counters (cumulative per actor).
 SCHED_COUNTERS = ("resizes", "migrations")
+
+#: Sweep-backend attributes exported as counters. Backend events are
+#: per-sweep totals (one event per run_sweep), so they *sum* across
+#: events rather than taking the last per actor.
+BACKEND_COUNTERS = ("dispatched", "completed", "requeued", "speculative",
+                    "discarded", "rejected", "crashed")
 
 
 def _last_per_actor(tracer: Tracer, category: str) -> Dict[str, object]:
@@ -62,6 +69,12 @@ def trace_counters(tracer: Tracer) -> Dict[str, float]:
         attrs = event.attrs
         for name in SCHED_COUNTERS:
             totals[f"sched_{name}"] += float(attrs.get(name, 0))
+    for event in tracer.events_in("backend"):
+        attrs = event.attrs
+        for name in BACKEND_COUNTERS:
+            key = f"backend_{name}"
+            totals[key] = totals.get(key, 0.0) \
+                + float(attrs.get(name, 0))
     injections = recoveries = 0
     for event in tracer.events_in("fault"):
         if event.name.endswith(":inject"):

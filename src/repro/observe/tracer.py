@@ -62,6 +62,7 @@ EVENT_CATEGORIES = frozenset({
     "sched",         # event-scheduler resize (calendar-queue window move)
     "error",         # a recoverable anomaly (e.g. server poll timeout)
     "fault",         # fault injection/recovery instants (repro.faults)
+    "backend",       # sweep-backend dispatch counters for one run_sweep
 })
 
 

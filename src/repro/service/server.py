@@ -7,8 +7,9 @@ so clients see predictable service instead of interference. One asyncio
 process owns:
 
 - a **job queue** (:class:`~repro.service.queue.JobQueue`) drained by a
-  bounded set of runner tasks into the existing
-  ``ProcessPoolExecutor``-based compute pool;
+  bounded set of runner tasks into the sweep executor's
+  :class:`~repro.experiments.backends.ProcessBackend` (the same
+  process-pool backend ``run_sweep`` schedules over);
 - **cache-aware admission**: each spec's content address is computed in
   the parent (same :mod:`repro.cache` keys ``run_sweep`` uses), hits are
   served without touching the pool, and concurrent misses on one key —
@@ -41,8 +42,9 @@ from __future__ import annotations
 
 import asyncio
 import concurrent.futures
-from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Dict, List, Optional
+
+from repro.experiments.backends import ProcessBackend
 
 from repro.service import http
 from repro.service.errors import (
@@ -107,7 +109,7 @@ class SweepService:
 
         self.queue = JobQueue()
         self.jobs: Dict[str, Job] = {}
-        self._pool: Optional[ProcessPoolExecutor] = None
+        self._backend: Optional[ProcessBackend] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._runners: List[asyncio.Task] = []
         self._job_tasks: Dict[str, asyncio.Task] = {}
@@ -145,6 +147,10 @@ class SweepService:
         self._m_worker_crashes = self.metrics.counter(
             "repro_worker_crashes_total",
             "Compute-pool workers lost mid-task.")
+        self._m_backend_tasks = self.metrics.counter(
+            "repro_backend_tasks_total",
+            "Sweep-backend dispatch events (same counters run_sweep "
+            "traces under REPRO_TRACE).", ("event",))
         self._m_tenant_jobs = self.metrics.gauge(
             "repro_tenant_jobs_submitted", "Jobs admitted, per tenant.",
             ("tenant",))
@@ -178,10 +184,20 @@ class SweepService:
             return self._clock()
         return asyncio.get_running_loop().time()
 
+    @property
+    def _pool(self):
+        """The backend's live pool (``None`` before start / after stop).
+
+        Test fixtures reach through this to find worker pids; it never
+        *creates* a pool, unlike ``self._backend.pool``.
+        """
+        backend = self._backend
+        return None if backend is None else backend._pool
+
     async def start(self) -> None:
         """Bind the listener and start the queue runners."""
         self._events_cond = asyncio.Condition()
-        self._pool = ProcessPoolExecutor(max_workers=self._workers)
+        self._backend = ProcessBackend(workers=self._workers)
         self._server = await asyncio.start_server(
             self._on_connection, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
@@ -223,9 +239,9 @@ class SweepService:
         if self._conn_tasks:
             await asyncio.gather(*list(self._conn_tasks),
                                  return_exceptions=True)
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        if self._backend is not None:
+            self._backend.close()
+            self._backend = None
         if self._cache is not None:
             self._cache.flush()
 
@@ -292,7 +308,10 @@ class SweepService:
         """One spec → ``(payload, source)`` via cache, dedup, or pool."""
         key = None
         if self._cache is not None:
-            key = self._cache.key_for(self._runner, (spec,), {})
+            from repro.experiments.executor import resolve_cache_context
+            key = self._cache.key_for(
+                self._runner, (spec,), {},
+                context=resolve_cache_context(self._cache))
             if key is not None:
                 hit, value = self._cache.get(key)
                 if hit:
@@ -312,23 +331,23 @@ class SweepService:
 
     async def _compute(self, spec: Dict[str, Any],
                        key: Optional[str]) -> Dict[str, Any]:
-        """Run one spec in the pool; only this task writes the cache."""
-        loop = asyncio.get_running_loop()
-        assert self._pool is not None
+        """Run one spec in the backend; only this task writes the cache."""
+        assert self._backend is not None
+        self._m_backend_tasks.inc(event="dispatched")
         try:
-            payload = await loop.run_in_executor(
-                self._pool, self._runner, spec)
+            payload = await asyncio.wrap_future(
+                self._backend.submit_call(self._runner, spec))
         except concurrent.futures.process.BrokenProcessPool:
             # A worker died (OOM-kill, SIGKILL, crash). Replace the
             # broken pool so the *server* keeps serving, and surface a
             # typed failure on the affected job(s).
             self._m_worker_crashes.inc()
-            broken, self._pool = self._pool, ProcessPoolExecutor(
-                max_workers=self._workers)
-            broken.shutdown(wait=False)
+            self._m_backend_tasks.inc(event="crashed")
+            self._backend.replace_broken()
             raise WorkerCrashedError(
                 "a compute-pool worker died while running this spec; "
                 "the pool has been replaced") from None
+        self._m_backend_tasks.inc(event="completed")
         if key is not None and self._cache is not None:
             self._cache.put(key, payload)
         return payload

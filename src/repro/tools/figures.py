@@ -16,10 +16,22 @@ Usage::
     python -m repro.tools.figures --scheduler heap fig2   # binary-heap queue
     python -m repro.tools.figures faults                  # fault degradation
     python -m repro.tools.figures --faults my_schedule.json faults
+    python -m repro.tools.figures --backend remote \\
+        --workers nodeA:7401,nodeA:7402 all      # distributed sweep
 
 ``--parallel N`` (or ``REPRO_PARALLEL=N`` in the environment) fans the
 independent sweep configurations of each driver out over ``N`` worker
 processes; results are bit-identical to a serial run.
+
+``--backend serial|process|remote|dask`` (or ``REPRO_BACKEND``) picks
+the sweep-execution backend: ``process`` (the default) is the local
+pool sized by ``--parallel``; ``remote`` ships cache misses to TCP
+workers launched with ``python -m repro.tools.sweepworkerctl serve``
+on this or other machines — ``--workers host:port,host:port`` (or
+``REPRO_WORKERS``) says where; ``dask`` submits to a Dask cluster
+(needs the ``repro[dask]`` extra; scheduler address via
+``REPRO_DASK_SCHEDULER``, else a local cluster). Every backend returns
+bit-identical results; see the README's "Distributed sweeps" section.
 
 ``--trace DIR`` (or ``REPRO_TRACE=DIR``) records a structured trace of
 every sweep configuration into ``DIR/<label>.jsonl``; inspect them with
@@ -101,6 +113,38 @@ def main(argv=None) -> int:
         del argv[at:at + 2]
         # The figure drivers pick this up through executor.run_sweep.
         os.environ["REPRO_PARALLEL"] = str(workers)
+    if "--backend" in argv:
+        at = argv.index("--backend")
+        try:
+            backend = argv[at + 1]
+        except IndexError:
+            print("--backend requires a mode "
+                  "(serial|process|remote|dask)", file=sys.stderr)
+            return 2
+        from repro.experiments.backends import BACKENDS
+        if backend not in BACKENDS:
+            print(f"--backend must be one of {', '.join(BACKENDS)}, "
+                  f"got {backend!r}", file=sys.stderr)
+            return 2
+        del argv[at:at + 2]
+        # executor.run_sweep resolves this via default_backend_name().
+        os.environ["REPRO_BACKEND"] = backend
+    if "--workers" in argv:
+        at = argv.index("--workers")
+        try:
+            worker_addrs = argv[at + 1]
+        except IndexError:
+            print("--workers requires host:port[,host:port...] addresses",
+                  file=sys.stderr)
+            return 2
+        if worker_addrs.startswith("-"):
+            print("--workers requires host:port[,host:port...] addresses",
+                  file=sys.stderr)
+            return 2
+        del argv[at:at + 2]
+        # The remote backend dials these (RemoteBackend falls back to
+        # REPRO_WORKERS when constructed without addresses).
+        os.environ["REPRO_WORKERS"] = worker_addrs
     if "--trace" in argv:
         at = argv.index("--trace")
         try:

@@ -8,6 +8,7 @@ Usage::
     python -m repro.tools.tracereport trace.jsonl --by target
     python -m repro.tools.tracereport trace.jsonl --by solver
     python -m repro.tools.tracereport trace.jsonl --by sched
+    python -m repro.tools.tracereport trace.jsonl --by backend
     python -m repro.tools.tracereport trace.jsonl --chrome out.json
 
 The summary shows per-category, per-actor, per-storage-target,
@@ -21,7 +22,12 @@ recorded with ``REPRO_SOLVER=sharded`` additionally carry the shard
 counters (shard count, shard solves, cut bytes, capacity imbalance
 and reconciliation iterations). The sched
 table reports the calendar-queue scheduler's window resizes and
-migrations. ``--chrome`` converts the JSONL trace to
+migrations. The backend table (``--by backend``; appears in the
+summary when a ``REPRO_TRACE`` sweep recorded dispatch counters to
+``sweep-backend.jsonl``) shows how each sweep backend moved its tasks:
+dispatches, completions, crash-recovery requeues, speculative
+straggler re-dispatches and discarded duplicates, and rejected
+workers. ``--chrome`` converts the JSONL trace to
 Chrome ``trace_event`` format — open it at ``chrome://tracing`` or
 https://ui.perfetto.dev to see the timeline.
 """
@@ -34,6 +40,7 @@ from typing import List, Optional
 from repro.errors import ReproError
 from repro.experiments.report import render_table
 from repro.observe.aggregate import (
+    backend_table,
     per_actor_table,
     per_category_table,
     per_target_table,
@@ -43,7 +50,7 @@ from repro.observe.aggregate import (
 )
 from repro.observe.export import dump_chrome_trace, load_jsonl
 
-_GROUPINGS = ("actor", "category", "target", "solver", "sched")
+_GROUPINGS = ("actor", "category", "target", "solver", "sched", "backend")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -102,6 +109,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(render_table(solver_table(tracer)))
     elif grouping == "sched":
         print(render_table(sched_table(tracer)))
+    elif grouping == "backend":
+        print(render_table(backend_table(tracer)))
     else:
         print(render_summary(tracer))
     return 0

@@ -12,6 +12,7 @@ from repro.experiments.executor import (
     SweepTask,
     default_parallelism,
     pool_chunksize,
+    resolve_cache_context,
     run_sweep,
 )
 
@@ -194,7 +195,11 @@ class TestRunSweepCache:
         cache = self._cache(tmp_path)
         tasks, marker = self._tasks(tmp_path, n=1)
         run_sweep(tasks, parallel=1, cache=cache)
-        key = cache.key_for(tasks[0].fn, tasks[0].args, tasks[0].kwargs)
+        # The store's own context stays None (run_sweep never mutates
+        # it); reproducing the sweep's key needs the same context the
+        # executor resolved.
+        key = cache.key_for(tasks[0].fn, tasks[0].args, tasks[0].kwargs,
+                            context=resolve_cache_context(cache))
         with open(cache.entry_path(key), "r+b") as fh:
             fh.truncate(10)
         results = run_sweep(tasks, parallel=1, cache=cache)
